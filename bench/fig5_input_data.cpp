@@ -1,0 +1,42 @@
+// Fig. 5 — input data amount, plus the §IV-B overall-data-amount claim.
+// Paper: FastBFS reads 65.2%–78.1% less than X-Stream, and even with the
+// introduced stay writes reduces overall data moved by 47.7%–60.4%.
+#include "bench_common.hpp"
+#include "common/log.hpp"
+
+using namespace fbfs;
+
+int main() {
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Fig. 5 — input data amount (HDD runs)",
+      "FastBFS input reduced 65.2%–78.1% vs X-Stream; overall data amount "
+      "(reads + introduced writes) reduced 47.7%–60.4%");
+
+  bench::BenchEnv& env = bench::BenchEnv::instance();
+  const Config results = bench::measure_all_systems(
+      env, io::DeviceModel::hdd(), "fig456_hdd");
+
+  metrics::Table table({"dataset", "graphchi read", "xstream read",
+                        "fastbfs read", "input cut", "xs total", "fb total",
+                        "overall cut"});
+  for (const std::string& name : bench::evaluation_datasets()) {
+    const auto gc_r = results.get_u64(name + ".graphchi.bytes_read");
+    const auto xs_r = results.get_u64(name + ".xstream.bytes_read");
+    const auto fb_r = results.get_u64(name + ".fastbfs.bytes_read");
+    const auto xs_total = xs_r + results.get_u64(name + ".xstream.bytes_written");
+    const auto fb_total = fb_r + results.get_u64(name + ".fastbfs.bytes_written");
+    table.add_row(
+        {name, metrics::Table::bytes(gc_r), metrics::Table::bytes(xs_r),
+         metrics::Table::bytes(fb_r),
+         metrics::Table::percent(1.0 - static_cast<double>(fb_r) /
+                                           static_cast<double>(xs_r)),
+         metrics::Table::bytes(xs_total), metrics::Table::bytes(fb_total),
+         metrics::Table::percent(1.0 - static_cast<double>(fb_total) /
+                                           static_cast<double>(xs_total))});
+  }
+  table.print();
+  table.write_csv_file(env.root_dir() + "/fig5.csv");
+  std::cout << "(csv: " << env.root_dir() << "/fig5.csv)\n";
+  return 0;
+}

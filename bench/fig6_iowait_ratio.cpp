@@ -1,0 +1,33 @@
+// Fig. 6 — iowait time ratio: share of execution spent blocked on I/O.
+// Paper: GraphChi lowest (compute-heavy), FastBFS slightly above X-Stream
+// (it removed proportionally more computation than I/O).
+#include "bench_common.hpp"
+#include "common/log.hpp"
+
+using namespace fbfs;
+
+int main() {
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Fig. 6 — iowait time ratio (HDD runs)",
+      "BFS is I/O-bound: X-Stream/FastBFS iowait ratios are high; "
+      "GraphChi's is lower because it burns more CPU per byte");
+
+  bench::BenchEnv& env = bench::BenchEnv::instance();
+  const Config results = bench::measure_all_systems(
+      env, io::DeviceModel::hdd(), "fig456_hdd");
+
+  metrics::Table table(
+      {"dataset", "graphchi iowait", "xstream iowait", "fastbfs iowait"});
+  for (const std::string& name : bench::evaluation_datasets()) {
+    table.add_row(
+        {name,
+         metrics::Table::percent(results.get_f64(name + ".graphchi.iowait")),
+         metrics::Table::percent(results.get_f64(name + ".xstream.iowait")),
+         metrics::Table::percent(results.get_f64(name + ".fastbfs.iowait"))});
+  }
+  table.print();
+  table.write_csv_file(env.root_dir() + "/fig6.csv");
+  std::cout << "(csv: " << env.root_dir() << "/fig6.csv)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 7 — execution time on SSD. Paper: same ranking as HDD; FastBFS
+// 1.6–2.3x vs X-Stream, 3.7–5.2x vs GraphChi; each system gains 1.2–2.1x
+// from the SSD, FastBFS the most.
+#include "bench_common.hpp"
+#include "common/log.hpp"
+
+using namespace fbfs;
+
+int main() {
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Fig. 7 — execution time over SSD",
+      "trend and ranking match the HDD runs; FastBFS benefits most from "
+      "the faster device thanks to its reduced data amount");
+
+  bench::BenchEnv& env = bench::BenchEnv::instance();
+  const Config ssd = bench::measure_all_systems(
+      env, io::DeviceModel::ssd(), "fig456_ssd");
+  const Config hdd = bench::measure_all_systems(
+      env, io::DeviceModel::hdd(), "fig456_hdd");
+
+  metrics::Table table({"dataset", "graphchi (s)", "xstream (s)",
+                        "fastbfs (s)", "fb vs xs", "fb vs gc",
+                        "gc ssd gain", "xs ssd gain", "fb ssd gain"});
+  for (const std::string& name : bench::evaluation_datasets()) {
+    const double gc = ssd.get_f64(name + ".graphchi.seconds");
+    const double xs = ssd.get_f64(name + ".xstream.seconds");
+    const double fb = ssd.get_f64(name + ".fastbfs.seconds");
+    table.add_row(
+        {name, metrics::Table::num(gc), metrics::Table::num(xs),
+         metrics::Table::num(fb), metrics::Table::speedup(xs / fb),
+         metrics::Table::speedup(gc / fb),
+         metrics::Table::speedup(hdd.get_f64(name + ".graphchi.seconds") / gc),
+         metrics::Table::speedup(hdd.get_f64(name + ".xstream.seconds") / xs),
+         metrics::Table::speedup(hdd.get_f64(name + ".fastbfs.seconds") /
+                                 fb)});
+  }
+  table.print();
+  table.write_csv_file(env.root_dir() + "/fig7.csv");
+  std::cout << "(csv: " << env.root_dir() << "/fig7.csv)\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 8 — performance vs number of threads (1/2/4/8) on the tuning
+// graph. Paper: flat — disk-bound BFS gains nothing from extra compute
+// threads, and oversubscription beyond the core count costs a little.
+#include "bench_common.hpp"
+#include "common/log.hpp"
+
+using namespace fbfs;
+
+int main() {
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Fig. 8 — execution time vs thread count (rmat16, HDD)",
+      "both systems are I/O-bound: extra threads do not help, and "
+      "oversubscription adds scheduling overhead");
+
+  bench::BenchEnv& env = bench::BenchEnv::instance();
+  const bench::Dataset& ds = env.dataset("rmat16");
+
+  metrics::Table table({"threads", "xstream (s)", "fastbfs (s)"});
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    bench::RunOptions options;
+    options.threads = threads;
+    const auto xs = bench::run_xstream_bfs(env, ds, options);
+    const auto fb = bench::run_fastbfs(env, ds, options);
+    table.add_row({metrics::Table::num(std::uint64_t{threads}),
+                   metrics::Table::num(xs.wall_seconds),
+                   metrics::Table::num(fb.wall_seconds)});
+  }
+  table.print();
+  table.write_csv_file(env.root_dir() + "/fig8.csv");
+  std::cout << "(csv: " << env.root_dir() << "/fig8.csv)\n";
+  return 0;
+}

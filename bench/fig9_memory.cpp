@@ -1,0 +1,42 @@
+// Fig. 9 — performance vs working-memory budget on the tuning graph.
+// Paper: flat from 256 MB to 2 GB, then a cliff at 4 GB when the whole
+// graph fits and X-Stream's in-memory streaming kicks in. Budgets here
+// are scaled to the 8 MiB rmat16: 2–32 MiB.
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+
+using namespace fbfs;
+
+int main() {
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Fig. 9 — execution time vs memory budget (rmat16, HDD)",
+      "flat while disk-bound; sharp drop once the graph fits in memory "
+      "(the paper's 4 GB point)");
+
+  bench::BenchEnv& env = bench::BenchEnv::instance();
+  const bench::Dataset& ds = env.dataset("rmat16");
+
+  metrics::Table table(
+      {"budget", "xstream (s)", "fastbfs (s)", "in-memory?"});
+  for (const std::uint64_t budget_mib : {2ull, 4ull, 8ull, 16ull, 32ull}) {
+    bench::RunOptions options;
+    options.memory_budget = budget_mib * kMiB;
+    options.allow_in_memory = true;
+    const auto plan = xs::plan_memory(options.memory_budget,
+                                      ds.meta.num_vertices,
+                                      ds.meta.num_edges, 4,
+                                      options.partitions);
+    const auto xs = bench::run_xstream_bfs(env, ds, options);
+    const auto fb = bench::run_fastbfs(env, ds, options);
+    table.add_row({metrics::Table::bytes(options.memory_budget),
+                   metrics::Table::num(xs.wall_seconds),
+                   metrics::Table::num(fb.wall_seconds),
+                   plan.in_memory_edges ? "yes" : "no"});
+  }
+  table.print();
+  table.write_csv_file(env.root_dir() + "/fig9.csv");
+  std::cout << "(csv: " << env.root_dir() << "/fig9.csv)\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks for the substrate primitives the
+// engines are built on: RNG, bitmap, streams, async writer, generators.
+#include <benchmark/benchmark.h>
+
+#include "common/bitmap.hpp"
+#include "common/rng.hpp"
+#include "common/temp_dir.hpp"
+#include "graph/generators.hpp"
+#include "storage/async_writer.hpp"
+#include "storage/stream.hpp"
+#include "xstream/programs.hpp"
+
+namespace fbfs {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000003));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(3);
+  ZipfSampler zipf(1 << 20, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_EdgeHashWeight(benchmark::State& state) {
+  graph::VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs::edge_hash_weight({v, v + 1}));
+    ++v;
+  }
+}
+BENCHMARK(BM_EdgeHashWeight);
+
+void BM_BitmapTestAndSet(benchmark::State& state) {
+  AtomicBitmap bm(1 << 20);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.test_and_set(i++ & ((1 << 20) - 1)));
+  }
+}
+BENCHMARK(BM_BitmapTestAndSet);
+
+void BM_BitmapTest(benchmark::State& state) {
+  AtomicBitmap bm(1 << 20);
+  for (std::uint64_t i = 0; i < bm.size(); i += 3) bm.set(i);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.test(i++ & ((1 << 20) - 1)));
+  }
+}
+BENCHMARK(BM_BitmapTest);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  graph::RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    graph::generate_rmat(params, [&](const graph::Edge& e) {
+      sum += e.src ^ e.dst;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 12) * 8);
+}
+BENCHMARK(BM_RmatGenerate);
+
+void BM_StreamWriteRead(benchmark::State& state) {
+  TempDir dir{"bm"};
+  io::Device device(dir.str(), io::DeviceModel::unthrottled());
+  std::vector<graph::Edge> edges(1 << 16);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) edges[i] = {i, i + 1};
+  for (auto _ : state) {
+    auto f = device.open("x", true);
+    io::RecordWriter<graph::Edge> writer(*f, 1 << 20);
+    writer.append_batch(edges);
+    writer.flush();
+    io::RecordReader<graph::Edge> reader(*f, 1 << 20);
+    std::uint64_t n = 0;
+    for (auto batch = reader.next_batch(); !batch.empty();
+         batch = reader.next_batch()) {
+      n += batch.size();
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(state.iterations() * edges.size() *
+                          sizeof(graph::Edge) * 2);
+}
+BENCHMARK(BM_StreamWriteRead);
+
+void BM_AsyncWriterThroughput(benchmark::State& state) {
+  TempDir dir{"bm"};
+  io::Device device(dir.str(), io::DeviceModel::unthrottled());
+  std::vector<std::byte> chunk(1 << 16);
+  io::AsyncWriter writer(1 << 18, 4);
+  int file_id = 0;
+  for (auto _ : state) {
+    auto f = device.open("x" + std::to_string(file_id++ & 7), true);
+    const auto id = writer.begin(f.get());
+    for (int i = 0; i < 16; ++i) writer.append(id, chunk);
+    writer.finish(id);
+    writer.wait_complete(id, 60.0);
+    writer.release(id);
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * chunk.size());
+}
+BENCHMARK(BM_AsyncWriterThroughput);
+
+}  // namespace
+}  // namespace fbfs
+
+BENCHMARK_MAIN();

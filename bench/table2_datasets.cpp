@@ -1,0 +1,44 @@
+// Table II — experimental graphs (scaled stand-ins; DESIGN.md maps each
+// to the paper's dataset).
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "graph/partitioner.hpp"
+
+using namespace fbfs;
+
+int main() {
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Table II — experimental graphs",
+      "rmat22/25/27 + twitter_rv (61.6M v, 1.5B e) + friendster (124.8M v, "
+      "1.8B e); scaled ~1/32 here");
+
+  bench::BenchEnv& env = bench::BenchEnv::instance();
+  metrics::Table table({"graph", "stands for", "vertices", "edges",
+                        "data size", "max out-deg", "mean deg", "bfs root"});
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"rmat16", "rmat22"},
+      {"rmat18", "rmat25"},
+      {"rmat20", "rmat27"},
+      {"twitter_like", "twitter_rv.net"},
+      {"friendster_like", "friendster"},
+      {"grid512", "(high-diameter control)"},
+  };
+  for (const auto& [name, paper_name] : rows) {
+    const bench::Dataset& ds = env.dataset(name);
+    io::Device device(ds.dir, io::DeviceModel::unthrottled());
+    const auto stats = graph::compute_out_degree_stats(device, ds.meta);
+    table.add_row({name, paper_name,
+                   metrics::Table::num(ds.meta.num_vertices),
+                   metrics::Table::num(ds.meta.num_edges),
+                   metrics::Table::bytes(ds.meta.edge_bytes()),
+                   metrics::Table::num(stats.max_degree),
+                   metrics::Table::num(stats.mean_degree, 1),
+                   metrics::Table::num(std::uint64_t{ds.bfs_root})});
+  }
+  table.print();
+  table.write_csv_file(env.root_dir() + "/table2.csv");
+  std::cout << "(csv: " << env.root_dir() << "/table2.csv)\n";
+  return 0;
+}
