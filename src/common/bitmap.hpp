@@ -1,0 +1,81 @@
+// Fixed-size atomic bitmap: the frontier / visited-set representation
+// shared by the engines. test_and_set is the BFS hot path ("claim this
+// vertex"); plain set/test are relaxed reads used for frontier scans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace fbfs {
+
+class AtomicBitmap {
+ public:
+  explicit AtomicBitmap(std::uint64_t bits)
+      : bits_(bits),
+        words_((bits + 63) / 64),
+        data_(std::make_unique<std::atomic<std::uint64_t>[]>(words_)) {
+    reset();
+  }
+
+  std::uint64_t size() const { return bits_; }
+
+  void set(std::uint64_t i) {
+    check_index(i);
+    data_[i >> 6].fetch_or(bit(i), std::memory_order_relaxed);
+  }
+
+  void clear(std::uint64_t i) {
+    check_index(i);
+    data_[i >> 6].fetch_and(~bit(i), std::memory_order_relaxed);
+  }
+
+  bool test(std::uint64_t i) const {
+    check_index(i);
+    return (data_[i >> 6].load(std::memory_order_relaxed) & bit(i)) != 0;
+  }
+
+  /// Sets bit i; returns its previous value. Exactly one of several
+  /// concurrent callers on the same clear bit observes false.
+  bool test_and_set(std::uint64_t i) {
+    check_index(i);
+    const std::uint64_t prev =
+        data_[i >> 6].fetch_or(bit(i), std::memory_order_acq_rel);
+    return (prev & bit(i)) != 0;
+  }
+
+  /// Clears every bit.
+  void reset() {
+    for (std::uint64_t w = 0; w < words_; ++w) {
+      data_[w].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t count_set() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t w = 0; w < words_; ++w) {
+      total += static_cast<std::uint64_t>(
+          __builtin_popcountll(data_[w].load(std::memory_order_relaxed)));
+    }
+    return total;
+  }
+
+  bool any() const {
+    for (std::uint64_t w = 0; w < words_; ++w) {
+      if (data_[w].load(std::memory_order_relaxed) != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::uint64_t bit(std::uint64_t i) { return 1ull << (i & 63); }
+  void check_index(std::uint64_t i) const { FB_CHECK_LT(i, bits_); }
+
+  std::uint64_t bits_;
+  std::uint64_t words_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> data_;
+};
+
+}  // namespace fbfs

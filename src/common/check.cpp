@@ -1,0 +1,21 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbfs::detail {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fbfs::detail

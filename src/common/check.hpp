@@ -1,0 +1,58 @@
+// CHECK macros: invariants that abort the process with a message when
+// violated. Used for programming errors and unrecoverable misuse, not
+// for expected runtime failures (those throw, e.g. io::IoError).
+//
+//   FB_CHECK(ptr != nullptr);
+//   FB_CHECK_MSG(side >= 2, "grid dataset needs a side length: " << name);
+#pragma once
+
+#include <sstream>
+
+namespace fbfs::detail {
+
+/// Collects the failure message; the destructor prints it and aborts.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fbfs::detail
+
+#define FB_CHECK(cond)                                               \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::fbfs::detail::CheckFailure(__FILE__, __LINE__, #cond).stream(); \
+    }                                                                \
+  } while (0)
+
+#define FB_CHECK_MSG(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::fbfs::detail::CheckFailure(__FILE__, __LINE__, #cond).stream() \
+          << msg;                                                    \
+    }                                                                \
+  } while (0)
+
+#define FB_CHECK_OP(op, a, b)                                          \
+  do {                                                                 \
+    if (!((a)op(b))) {                                                 \
+      ::fbfs::detail::CheckFailure(__FILE__, __LINE__, #a " " #op " " #b) \
+              .stream()                                                \
+          << "(" << (a) << " vs " << (b) << ")";                       \
+    }                                                                  \
+  } while (0)
+
+#define FB_CHECK_EQ(a, b) FB_CHECK_OP(==, a, b)
+#define FB_CHECK_NE(a, b) FB_CHECK_OP(!=, a, b)
+#define FB_CHECK_LT(a, b) FB_CHECK_OP(<, a, b)
+#define FB_CHECK_LE(a, b) FB_CHECK_OP(<=, a, b)
+#define FB_CHECK_GT(a, b) FB_CHECK_OP(>, a, b)
+#define FB_CHECK_GE(a, b) FB_CHECK_OP(>=, a, b)

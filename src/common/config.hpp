@@ -1,0 +1,60 @@
+// Key-value configuration files (the paper's §III workflow: engines and
+// tools are driven by small text configs) and the bench result caches.
+//
+// File format: one `key = value` per line; blank lines and lines whose
+// first non-space character is '#' are ignored; keys and values are
+// whitespace-trimmed. Keys are unique; later assignments win.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fbfs {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Aborts (FB_CHECK) if the file cannot be read or a line is malformed.
+  static Config parse_file(const std::string& path);
+  static Config parse_string(const std::string& text);
+
+  /// Writes keys sorted, atomically (tmp file + rename).
+  void write_file(const std::string& path) const;
+  std::string to_string() const;
+
+  bool has(const std::string& key) const;
+  std::vector<std::string> keys() const;
+  std::size_t size() const { return values_.size(); }
+
+  /// get_* abort on a missing key or an unparseable value; the *_or
+  /// variants return `fallback` when the key is absent (but still abort
+  /// on a present-but-malformed value).
+  std::string get_str(const std::string& key) const;
+  std::string get_str_or(const std::string& key,
+                         const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& key) const;
+  std::uint64_t get_u64_or(const std::string& key,
+                           std::uint64_t fallback) const;
+  double get_f64(const std::string& key) const;
+  double get_f64_or(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  void set_str(const std::string& key, const std::string& value);
+  void set_u64(const std::string& key, std::uint64_t value);
+  void set_f64(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  void erase(const std::string& key) { values_.erase(key); }
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fbfs

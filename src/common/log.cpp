@@ -1,0 +1,77 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace fbfs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::info)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  if (name == "debug") out = LogLevel::debug;
+  else if (name == "info") out = LogLevel::info;
+  else if (name == "warn" || name == "warning") out = LogLevel::warn;
+  else if (name == "error") out = LogLevel::error;
+  else if (name == "off" || name == "none") out = LogLevel::off;
+  else return false;
+  return true;
+}
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("FASTBFS_LOG");
+  if (env == nullptr) return;
+  LogLevel level = LogLevel::info;
+  if (parse_log_level(env, level)) set_log_level(level);
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  // Strip the directory: src/common/log.cpp -> log.cpp.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << ms / 1000 << "." << ms % 1000 << " "
+          << level_tag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace fbfs

@@ -1,0 +1,63 @@
+// Minimal leveled stream logging.
+//
+//   FB_LOG_INFO << "partitioned " << name << " into " << n;
+//
+// The active level comes from set_log_level() or, conventionally at the
+// top of main(), init_log_level_from_env() which reads FASTBFS_LOG
+// (debug|info|warn|error|off; default info). Messages below the active
+// level cost one branch and never evaluate their stream operands.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fbfs {
+
+enum class LogLevel : int {
+  debug = 0,
+  info = 1,
+  warn = 2,
+  error = 3,
+  off = 4,
+};
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses a level name; returns false (and leaves `out` untouched) on an
+/// unknown name.
+bool parse_log_level(const std::string& name, LogLevel& out);
+
+/// Reads FASTBFS_LOG and applies it; unknown values keep the default.
+void init_log_level_from_env();
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+namespace detail {
+
+/// One log line; the destructor emits it to stderr atomically.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace fbfs
+
+#define FB_LOG(level)                  \
+  if (!::fbfs::log_enabled(level)) {   \
+  } else                               \
+    ::fbfs::detail::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define FB_LOG_DEBUG FB_LOG(::fbfs::LogLevel::debug)
+#define FB_LOG_INFO FB_LOG(::fbfs::LogLevel::info)
+#define FB_LOG_WARN FB_LOG(::fbfs::LogLevel::warn)
+#define FB_LOG_ERROR FB_LOG(::fbfs::LogLevel::error)

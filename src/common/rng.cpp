@@ -1,0 +1,28 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fbfs {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) {
+  FB_CHECK_MSG(n > 0, "ZipfSampler needs n > 0");
+  FB_CHECK_MSG(theta > 0.0, "ZipfSampler needs theta > 0, got " << theta);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -theta);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                     : it - cdf_.begin());
+}
+
+}  // namespace fbfs

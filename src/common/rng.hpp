@@ -1,0 +1,95 @@
+// Deterministic pseudo-randomness for generators and tests.
+//
+// Rng is xoshiro256** (Blackman & Vigna), seeded by expanding a single
+// 64-bit seed through splitmix64 — the combination both authors
+// recommend. Same seed => same sequence on every platform; generators
+// record their seed in the graph's .meta sidecar so datasets are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fbfs {
+
+/// splitmix64 step: mixes `state` forward and returns the next output.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (std::uint64_t& word : state_) word = splitmix64_next(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be positive. Debiased via
+  /// rejection on the tail window.
+  std::uint64_t next_below(std::uint64_t bound) {
+    FB_CHECK(bound > 0);
+    const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  // std::uniform_random_bit_generator interface, so Rng plugs into
+  // std::shuffle and <random> distributions.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf(theta) sampler over {0, ..., n-1}: P(k) ∝ 1/(k+1)^theta. Exact
+/// inverse-CDF table (O(n) memory, O(log n) sample) — generators sample
+/// a few edges per vertex, so table build cost amortises immediately,
+/// and any theta > 0 works (including theta > 1, where the common
+/// YCSB-style closed form breaks down).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t n() const { return static_cast<std::uint64_t>(cdf_.size()); }
+
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k), cdf_.back() == 1
+};
+
+}  // namespace fbfs

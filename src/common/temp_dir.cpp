@@ -1,0 +1,29 @@
+#include "common/temp_dir.hpp"
+
+#include <atomic>
+
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace fbfs {
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1);
+  const auto root = std::filesystem::temp_directory_path();
+  path_ = root / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(id));
+  std::error_code ec;
+  std::filesystem::create_directories(path_, ec);
+  FB_CHECK_MSG(!ec, "cannot create temp dir " << path_.string() << ": "
+                                              << ec.message());
+}
+
+TempDir::~TempDir() {
+  if (path_.empty()) return;
+  std::error_code ec;  // best-effort; never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace fbfs

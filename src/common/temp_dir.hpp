@@ -1,0 +1,30 @@
+// Scoped temporary directory: created unique under the system temp
+// root, recursively removed on destruction. Tests and benchmarks root
+// their Devices in one of these.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace fbfs {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "fbfs");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  TempDir& operator=(TempDir&&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace fbfs

@@ -1,0 +1,99 @@
+// Fixed-size thread pool. The engines size one pool from their
+// `threads` config (the paper's Fig. 8 sweep) and submit per-partition
+// scatter/gather work; wait_idle() is the round barrier.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fbfs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads) {
+    FB_CHECK_MSG(threads > 0, "ThreadPool needs at least one thread");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs f() on a pool thread; the future carries its result or
+  /// exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      FB_CHECK_MSG(!stopping_, "submit on a stopping ThreadPool");
+      tasks_.push_back([task] { (*task)(); });
+    }
+    work_ready_.notify_one();
+    return result;
+  }
+
+  /// Blocks until every submitted task has finished. Tasks submitted
+  /// concurrently with the wait (e.g. by pool tasks themselves) are
+  /// awaited too.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping and drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+        if (tasks_.empty() && active_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fbfs

@@ -1,0 +1,33 @@
+// Byte-size units and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace fbfs {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// "512 B", "4.0 KiB", "31.5 MiB", "2.0 GiB".
+inline std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else if (bytes < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  }
+  return buf;
+}
+
+}  // namespace fbfs

@@ -1,0 +1,295 @@
+#include "storage/device.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace fbfs::io {
+
+namespace {
+
+double env_time_scale() {
+  const char* env = std::getenv("FASTBFS_TIME_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(parsed >= 0.0) ||
+      !std::isfinite(parsed)) {
+    FB_LOG_WARN << "ignoring invalid FASTBFS_TIME_SCALE: " << env;
+    return 1.0;
+  }
+  return parsed;
+}
+
+std::uint64_t transfer_ns(std::uint64_t bytes, double mb_s) {
+  if (mb_s <= 0.0) return 0;
+  // bytes / (mb_s * 1e6 B/s) seconds = bytes * 1000 / mb_s ns.
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) * 1000.0 / mb_s));
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+DeviceModel DeviceModel::hdd() {
+  DeviceModel m;
+  m.name = "hdd";
+  m.read_mb_s = 110.0;
+  m.write_mb_s = 105.0;
+  m.seek_ns = 8'000'000;  // 8 ms
+  m.time_scale = env_time_scale();
+  return m;
+}
+
+DeviceModel DeviceModel::ssd() {
+  DeviceModel m;
+  m.name = "ssd";
+  m.read_mb_s = 250.0;
+  m.write_mb_s = 200.0;
+  m.seek_ns = 60'000;  // 60 us
+  m.time_scale = env_time_scale();
+  return m;
+}
+
+DeviceModel DeviceModel::unthrottled() {
+  DeviceModel m;
+  m.name = "unthrottled";
+  m.time_scale = env_time_scale();
+  return m;
+}
+
+std::uint64_t DeviceModel::read_service_ns(std::uint64_t bytes,
+                                           bool seek) const {
+  return (seek ? seek_ns : 0) + transfer_ns(bytes, read_mb_s);
+}
+
+std::uint64_t DeviceModel::write_service_ns(std::uint64_t bytes,
+                                            bool seek) const {
+  return (seek ? seek_ns : 0) + transfer_ns(bytes, write_mb_s);
+}
+
+// ---------------------------------------------------------------- File
+
+File::File(Device* device, std::string name, int fd, std::uint64_t id,
+           std::uint64_t size)
+    : device_(device), name_(std::move(name)), fd_(fd), id_(id), size_(size) {}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string File::path() const { return device_->path(name_); }
+
+std::uint64_t File::size() const {
+  return size_.load(std::memory_order_acquire);
+}
+
+std::size_t File::read_at(std::uint64_t offset, void* dst,
+                          std::size_t bytes) {
+  std::size_t total = 0;
+  auto* out = static_cast<char*>(dst);
+  while (total < bytes) {
+    const ssize_t n = ::pread(fd_, out + total, bytes - total,
+                              static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread " + path());
+    }
+    if (n == 0) break;  // end of file
+    total += static_cast<std::size_t>(n);
+  }
+  // Zero-byte transfers (EOF probes) never reach a disk; don't account
+  // them, so byte and op counters stay exactly the logical traffic.
+  if (total > 0) device_->charge(/*is_write=*/false, id_, offset, total);
+  return total;
+}
+
+void File::write_at(std::uint64_t offset, const void* src,
+                    std::size_t bytes) {
+  if (bytes == 0) return;
+  device_->consume_write_fault(name_);
+  device_->charge(/*is_write=*/true, id_, offset, bytes);
+  std::size_t total = 0;
+  const auto* in = static_cast<const char*>(src);
+  while (total < bytes) {
+    const ssize_t n = ::pwrite(fd_, in + total, bytes - total,
+                               static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite " + path());
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  std::lock_guard<std::mutex> lock(size_mutex_);
+  if (offset + bytes > size_.load(std::memory_order_relaxed)) {
+    size_.store(offset + bytes, std::memory_order_release);
+  }
+}
+
+std::uint64_t File::append(const void* src, std::size_t bytes) {
+  if (bytes == 0) return size();
+  std::uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(size_mutex_);
+    offset = size_.load(std::memory_order_relaxed);
+    // Reserve the range; concurrent appenders get disjoint ranges.
+    size_.store(offset + bytes, std::memory_order_release);
+  }
+  try {
+    device_->consume_write_fault(name_);
+    device_->charge(/*is_write=*/true, id_, offset, bytes);
+    std::size_t total = 0;
+    const auto* in = static_cast<const char*>(src);
+    while (total < bytes) {
+      const ssize_t n = ::pwrite(fd_, in + total, bytes - total,
+                                 static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pwrite " + path());
+      }
+      total += static_cast<std::size_t>(n);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(size_mutex_);
+    // Roll back a reservation still at the tail (the common case).
+    if (size_.load(std::memory_order_relaxed) == offset + bytes) {
+      size_.store(offset, std::memory_order_release);
+    }
+    throw;
+  }
+  return offset;
+}
+
+void File::sync() {
+  if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path());
+}
+
+// -------------------------------------------------------------- Device
+
+Device::Device(std::string root_dir, DeviceModel model)
+    : root_(std::move(root_dir)), model_(std::move(model)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  FB_CHECK_MSG(!ec, "cannot create device root " << root_ << ": "
+                                                 << ec.message());
+}
+
+std::string Device::path(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+std::unique_ptr<File> Device::open(const std::string& name, bool truncate) {
+  int flags = O_RDWR | O_CLOEXEC;
+  if (truncate) flags |= O_CREAT | O_TRUNC;
+  const int fd = ::open(path(name).c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open " + path(name));
+  const auto size = static_cast<std::uint64_t>(::lseek(fd, 0, SEEK_END));
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(schedule_mutex_);
+    id = next_file_id_++;
+  }
+  return std::unique_ptr<File>(new File(this, name, fd, id, size));
+}
+
+bool Device::exists(const std::string& name) const {
+  return std::filesystem::exists(path(name));
+}
+
+std::uint64_t Device::file_size(const std::string& name) const {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path(name), ec);
+  FB_CHECK_MSG(!ec, "file_size " << path(name) << ": " << ec.message());
+  return size;
+}
+
+void Device::remove(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::remove(path(name), ec);
+  FB_CHECK_MSG(!ec, "remove " << path(name) << ": " << ec.message());
+}
+
+void Device::rename(const std::string& from, const std::string& to) {
+  if (::rename(path(from).c_str(), path(to).c_str()) != 0) {
+    throw_errno("rename " + path(from) + " -> " + path(to));
+  }
+}
+
+std::vector<std::string> Device::list_files() const {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().filename());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Device::inject_write_faults(std::uint64_t n) {
+  write_faults_.store(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Device::pending_write_faults() const {
+  return write_faults_.load(std::memory_order_relaxed);
+}
+
+void Device::consume_write_fault(const std::string& file_name) {
+  std::uint64_t pending = write_faults_.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (write_faults_.compare_exchange_weak(pending, pending - 1,
+                                            std::memory_order_relaxed)) {
+      throw IoError("injected write fault on " + path(file_name));
+    }
+  }
+}
+
+void Device::charge(bool is_write, std::uint64_t file_id,
+                    std::uint64_t offset, std::uint64_t bytes) {
+  using clock = std::chrono::steady_clock;
+  clock::time_point reservation_end;
+  bool must_sleep;
+  {
+    std::lock_guard<std::mutex> lock(schedule_mutex_);
+    // A single head: the op seeks unless it starts exactly where the
+    // previous op on this device ended, in the same file.
+    const bool seek = !(head_file_ == file_id && head_offset_ == offset);
+    if (seek) stats_.record_seek();
+    head_file_ = file_id;
+    head_offset_ = offset + bytes;
+
+    const std::uint64_t model_ns = is_write
+                                       ? model_.write_service_ns(bytes, seek)
+                                       : model_.read_service_ns(bytes, seek);
+    const auto scaled_ns = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(model_ns) * model_.time_scale));
+    stats_.record_busy(scaled_ns, model_ns);
+    if (is_write) {
+      stats_.record_write(bytes);
+    } else {
+      stats_.record_read(bytes);
+    }
+
+    const auto now = clock::now();
+    const auto start = std::max(now, next_free_);
+    reservation_end = start + std::chrono::nanoseconds(scaled_ns);
+    next_free_ = reservation_end;
+    must_sleep = scaled_ns > 0;
+  }
+  // Sleep outside the lock: the modelled timeline serialises the device,
+  // but accounting by other threads is never blocked behind a delay.
+  if (must_sleep) std::this_thread::sleep_until(reservation_end);
+}
+
+}  // namespace fbfs::io

@@ -1,0 +1,172 @@
+// Device: one modelled disk, rooted at a host directory.
+//
+// All engine I/O goes through Device-opened Files, so the device can
+// (a) keep exact per-device IoStats and (b) impose a timing model — the
+// repo's substitute for the paper's physical HDDs/SSD (DESIGN.md,
+// substitutions table). The model is a token bucket: the device owns a
+// single service timeline (`next free time`); each operation reserves
+// seek latency (when it does not continue the previous operation's file
+// + offset) plus bytes/bandwidth of transfer time, then sleeps until
+// its reservation ends. One Device therefore serialises its own I/O —
+// concurrent readers contend like threads sharing a spindle — while two
+// Devices proceed fully in parallel, exactly like two disks.
+//
+// FASTBFS_TIME_SCALE (default 1.0) multiplies every modelled delay; 0
+// disables sleeping entirely while keeping byte/seek accounting exact.
+// The env var is read when a DeviceModel factory runs; tests may also
+// set `time_scale` directly.
+//
+// Write faults: inject_write_faults(n) makes the next n write operations
+// on the device throw IoError — how the tests stand in for a dying stay
+// disk (DESIGN invariant 6: AsyncWriter must degrade, not crash).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.hpp"
+
+namespace fbfs::io {
+
+/// Expected runtime I/O failure (disk full, injected fault, ...).
+/// Distinct from FB_CHECK aborts: callers like AsyncWriter catch it and
+/// degrade.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Timing model of one disk. Bandwidths in MB/s (decimal, as vendors
+/// quote); 0 bandwidth = unthrottled (no transfer delay).
+struct DeviceModel {
+  std::string name = "unthrottled";
+  double read_mb_s = 0.0;
+  double write_mb_s = 0.0;
+  std::uint64_t seek_ns = 0;
+  /// Multiplies every modelled delay; initialised from FASTBFS_TIME_SCALE
+  /// by the factories below.
+  double time_scale = 1.0;
+
+  /// 7200rpm HDD: 110/105 MB/s sequential, 8 ms seek.
+  static DeviceModel hdd();
+  /// SATA SSD: 250/200 MB/s, 60 us access.
+  static DeviceModel ssd();
+  /// No modelled delays; still counts bytes/ops/seeks.
+  static DeviceModel unthrottled();
+
+  bool throttled() const { return read_mb_s > 0.0 || write_mb_s > 0.0; }
+
+  /// Unscaled modelled service time of one operation. Monotone in
+  /// `bytes`; `seek` adds the full seek penalty.
+  std::uint64_t read_service_ns(std::uint64_t bytes, bool seek) const;
+  std::uint64_t write_service_ns(std::uint64_t bytes, bool seek) const;
+};
+
+class Device;
+
+/// One open file on a Device. Reading is positional (pread-style), so
+/// any number of readers can stream the same File with private cursors;
+/// writes either append or go to an explicit offset. Every transfer is
+/// charged to the owning Device.
+class File {
+ public:
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::string path() const;
+  Device& device() const { return *device_; }
+  std::uint64_t size() const;
+
+  /// Reads up to `bytes` at `offset`; returns the bytes transferred
+  /// (short only at end of file). Throws IoError on failure.
+  std::size_t read_at(std::uint64_t offset, void* dst, std::size_t bytes);
+
+  /// Writes exactly `bytes` at `offset`. Throws IoError on failure or
+  /// injected fault.
+  void write_at(std::uint64_t offset, const void* src, std::size_t bytes);
+
+  /// Appends at the current end; returns the offset written at.
+  std::uint64_t append(const void* src, std::size_t bytes);
+
+  /// Flushes file data to stable storage (fdatasync).
+  void sync();
+
+ private:
+  friend class Device;
+  File(Device* device, std::string name, int fd, std::uint64_t id,
+       std::uint64_t size);
+
+  Device* device_;
+  std::string name_;
+  int fd_;
+  std::uint64_t id_;  // device-unique, for head-position tracking
+  std::atomic<std::uint64_t> size_;
+  std::mutex size_mutex_;  // append offset reservation
+};
+
+class Device {
+ public:
+  /// Roots the device at `root_dir` (created if absent).
+  Device(std::string root_dir, DeviceModel model);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& root_dir() const { return root_; }
+  const DeviceModel& model() const { return model_; }
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  /// Opens `name` under the root. truncate=true creates the file (or
+  /// empties an existing one); truncate=false requires it to exist.
+  std::unique_ptr<File> open(const std::string& name, bool truncate = false);
+
+  bool exists(const std::string& name) const;
+  std::uint64_t file_size(const std::string& name) const;
+  void remove(const std::string& name);
+  /// Atomic within the device directory (POSIX rename).
+  void rename(const std::string& from, const std::string& to);
+  /// Names of regular files directly under the root, sorted.
+  std::vector<std::string> list_files() const;
+  std::string path(const std::string& name) const;
+
+  /// The next `n` write operations on this device throw IoError.
+  /// Replaces any still-pending faults; 0 clears them.
+  void inject_write_faults(std::uint64_t n);
+  std::uint64_t pending_write_faults() const;
+
+ private:
+  friend class File;
+
+  /// Models + accounts one operation of `bytes` at (file, offset):
+  /// reserves a slot on the device timeline, updates IoStats, sleeps out
+  /// the scaled delay. Called by File after (reads) or before (writes)
+  /// the syscall.
+  void charge(bool is_write, std::uint64_t file_id, std::uint64_t offset,
+              std::uint64_t bytes);
+
+  /// Throws IoError when a fault is pending (consuming it).
+  void consume_write_fault(const std::string& file_name);
+
+  std::string root_;
+  DeviceModel model_;
+  IoStats stats_;
+
+  std::mutex schedule_mutex_;
+  std::chrono::steady_clock::time_point next_free_{};
+  std::uint64_t head_file_ = 0;  // 0 = no operation yet
+  std::uint64_t head_offset_ = 0;
+  std::uint64_t next_file_id_ = 1;
+
+  std::atomic<std::uint64_t> write_faults_{0};
+};
+
+}  // namespace fbfs::io

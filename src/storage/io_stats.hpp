@@ -1,0 +1,91 @@
+// Per-device I/O accounting — the repo's substitute for `iostat`.
+//
+// Byte counters are exact: every read/write that reaches the device adds
+// precisely the bytes the syscall transferred (DESIGN invariant 5 leans
+// on this). busy_ns accumulates the device's modelled service time (seek
+// + transfer under the DeviceModel, after FASTBFS_TIME_SCALE); dividing
+// it by wall time gives the paper's iowait ratio. model_busy_ns keeps
+// the unscaled service time so accounting stays deterministic even at
+// time scale 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fbfs::io {
+
+/// Plain-value copy of the counters at one instant.
+struct IoStatsSnapshot {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t seeks = 0;
+  std::uint64_t busy_ns = 0;        // scaled (wall-clock) device busy time
+  std::uint64_t model_busy_ns = 0;  // unscaled modelled service time
+
+  double busy_seconds() const { return static_cast<double>(busy_ns) * 1e-9; }
+};
+
+class IoStats {
+ public:
+  std::uint64_t bytes_read() const { return bytes_read_.load(order); }
+  std::uint64_t bytes_written() const { return bytes_written_.load(order); }
+  std::uint64_t read_ops() const { return read_ops_.load(order); }
+  std::uint64_t write_ops() const { return write_ops_.load(order); }
+  std::uint64_t seeks() const { return seeks_.load(order); }
+  std::uint64_t busy_ns() const { return busy_ns_.load(order); }
+  std::uint64_t model_busy_ns() const { return model_busy_ns_.load(order); }
+  double busy_seconds() const {
+    return static_cast<double>(busy_ns()) * 1e-9;
+  }
+
+  IoStatsSnapshot snapshot() const {
+    IoStatsSnapshot s;
+    s.bytes_read = bytes_read();
+    s.bytes_written = bytes_written();
+    s.read_ops = read_ops();
+    s.write_ops = write_ops();
+    s.seeks = seeks();
+    s.busy_ns = busy_ns();
+    s.model_busy_ns = model_busy_ns();
+    return s;
+  }
+
+  void record_read(std::uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, order);
+    read_ops_.fetch_add(1, order);
+  }
+  void record_write(std::uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, order);
+    write_ops_.fetch_add(1, order);
+  }
+  void record_seek() { seeks_.fetch_add(1, order); }
+  void record_busy(std::uint64_t scaled_ns, std::uint64_t model_ns) {
+    busy_ns_.fetch_add(scaled_ns, order);
+    model_busy_ns_.fetch_add(model_ns, order);
+  }
+
+  void reset() {
+    bytes_read_.store(0, order);
+    bytes_written_.store(0, order);
+    read_ops_.store(0, order);
+    write_ops_.store(0, order);
+    seeks_.store(0, order);
+    busy_ns_.store(0, order);
+    model_busy_ns_.store(0, order);
+  }
+
+ private:
+  static constexpr std::memory_order order = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+  std::atomic<std::uint64_t> seeks_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> model_busy_ns_{0};
+};
+
+}  // namespace fbfs::io

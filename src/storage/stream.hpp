@@ -1,0 +1,200 @@
+// Buffered sequential streams over Device files.
+//
+// StreamWriter / StreamReader move raw bytes through a private buffer so
+// the device sees few, large, sequential transfers (the access pattern
+// every engine in this repo is built around). RecordWriter<T> /
+// RecordReader<T> are the typed views the engines actually use: an edge
+// or update file is a flat array of trivially-copyable records.
+//
+// Readers keep a private cursor over positional reads, so any number of
+// readers can stream one File concurrently.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "storage/device.hpp"
+
+namespace fbfs::io {
+
+class StreamWriter {
+ public:
+  /// Buffers up to `buffer_bytes` before each device append.
+  StreamWriter(File& file, std::size_t buffer_bytes)
+      : file_(&file), buffer_(buffer_bytes == 0 ? 1 : buffer_bytes) {}
+
+  ~StreamWriter() {
+    // Callers should flush() (it can throw); last-chance best effort.
+    if (fill_ > 0) {
+      try {
+        flush();
+      } catch (const IoError&) {
+      }
+    }
+  }
+
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  void append(std::span<const std::byte> data) {
+    append_raw(data.data(), data.size());
+  }
+
+  void append_raw(const void* src, std::size_t bytes) {
+    const auto* in = static_cast<const std::byte*>(src);
+    while (bytes > 0) {
+      const std::size_t room = buffer_.size() - fill_;
+      const std::size_t take = bytes < room ? bytes : room;
+      std::memcpy(buffer_.data() + fill_, in, take);
+      fill_ += take;
+      in += take;
+      bytes -= take;
+      if (fill_ == buffer_.size()) flush();
+    }
+  }
+
+  /// Pushes buffered bytes to the device.
+  void flush() {
+    if (fill_ == 0) return;
+    file_->append(buffer_.data(), fill_);
+    logical_bytes_ += fill_;
+    fill_ = 0;
+  }
+
+  /// Total bytes accepted, flushed or not.
+  std::uint64_t bytes_appended() const { return logical_bytes_ + fill_; }
+
+ private:
+  File* file_;
+  std::vector<std::byte> buffer_;
+  std::size_t fill_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+};
+
+class StreamReader {
+ public:
+  /// Streams from `offset` with `buffer_bytes` read-ahead granularity.
+  StreamReader(File& file, std::size_t buffer_bytes, std::uint64_t offset = 0)
+      : file_(&file),
+        buffer_(buffer_bytes == 0 ? 1 : buffer_bytes),
+        offset_(offset) {}
+
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  /// Reads up to `bytes`; returns bytes delivered (short only at EOF).
+  std::size_t read(void* dst, std::size_t bytes) {
+    auto* out = static_cast<std::byte*>(dst);
+    std::size_t total = 0;
+    while (total < bytes) {
+      if (pos_ == avail_) {
+        avail_ = file_->read_at(offset_, buffer_.data(), buffer_.size());
+        offset_ += avail_;
+        pos_ = 0;
+        if (avail_ == 0) break;  // end of file
+      }
+      const std::size_t have = avail_ - pos_;
+      const std::size_t want = bytes - total;
+      const std::size_t take = want < have ? want : have;
+      std::memcpy(out + total, buffer_.data() + pos_, take);
+      pos_ += take;
+      total += take;
+    }
+    return total;
+  }
+
+  /// Device offset of the next byte this reader will deliver.
+  std::uint64_t position() const { return offset_ - (avail_ - pos_); }
+
+ private:
+  File* file_;
+  std::vector<std::byte> buffer_;
+  std::uint64_t offset_;       // next device offset to fetch
+  std::size_t pos_ = 0;        // consumed within buffer_
+  std::size_t avail_ = 0;      // valid bytes in buffer_
+};
+
+/// Typed append stream of trivially-copyable records.
+template <typename T>
+class RecordWriter {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  RecordWriter(File& file, std::size_t buffer_bytes)
+      : bytes_(file, buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes) {}
+
+  void append(const T& record) { bytes_.append_raw(&record, sizeof(T)); }
+
+  void append_batch(std::span<const T> records) {
+    bytes_.append_raw(records.data(), records.size() * sizeof(T));
+  }
+  void append_batch(const std::vector<T>& records) {
+    append_batch(std::span<const T>(records));
+  }
+
+  void flush() { bytes_.flush(); }
+
+  std::uint64_t records_appended() const {
+    return bytes_.bytes_appended() / sizeof(T);
+  }
+
+ private:
+  StreamWriter bytes_;
+};
+
+/// Typed sequential reader; the file length must be a whole number of
+/// records (checked at EOF).
+template <typename T>
+class RecordReader {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  RecordReader(File& file, std::size_t buffer_bytes, std::uint64_t offset = 0)
+      : bytes_(file, buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes,
+               offset),
+        batch_((buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes) /
+               sizeof(T)) {
+    FB_CHECK_MSG(offset % sizeof(T) == 0,
+                 "record stream offset not record-aligned: " << offset);
+  }
+
+  /// Next record into `out`; false at end of stream.
+  bool next(T& out) {
+    if (cursor_ == loaded_) {
+      load();
+      if (loaded_ == 0) return false;
+    }
+    out = batch_[cursor_++];
+    return true;
+  }
+
+  /// A view of up to one buffer of records; empty at end of stream. The
+  /// span is valid until the next call.
+  std::span<const T> next_batch() {
+    load();
+    cursor_ = loaded_;
+    return std::span<const T>(batch_.data(), loaded_);
+  }
+
+ private:
+  void load() {
+    const std::size_t got =
+        bytes_.read(batch_.data(), batch_.size() * sizeof(T));
+    FB_CHECK_MSG(got % sizeof(T) == 0,
+                 "record stream ends mid-record: " << got << " bytes after "
+                                                   << records_delivered_);
+    loaded_ = got / sizeof(T);
+    cursor_ = 0;
+    records_delivered_ += loaded_;
+  }
+
+  StreamReader bytes_;
+  std::vector<T> batch_;
+  std::size_t cursor_ = 0;
+  std::size_t loaded_ = 0;
+  std::uint64_t records_delivered_ = 0;
+};
+
+}  // namespace fbfs::io

@@ -1,0 +1,69 @@
+#include "common/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fbfs {
+namespace {
+
+TEST(AtomicBitmap, SetTestClear) {
+  AtomicBitmap bm(130);  // crosses a word boundary
+  EXPECT_EQ(bm.size(), 130u);
+  EXPECT_FALSE(bm.any());
+  for (std::uint64_t i = 0; i < bm.size(); ++i) EXPECT_FALSE(bm.test(i));
+
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(129));
+  EXPECT_FALSE(bm.test(1));
+  EXPECT_EQ(bm.count_set(), 4u);
+  EXPECT_TRUE(bm.any());
+
+  bm.clear(63);
+  EXPECT_FALSE(bm.test(63));
+  EXPECT_EQ(bm.count_set(), 3u);
+
+  bm.reset();
+  EXPECT_EQ(bm.count_set(), 0u);
+  EXPECT_FALSE(bm.any());
+}
+
+TEST(AtomicBitmap, TestAndSetReturnsPrevious) {
+  AtomicBitmap bm(10);
+  EXPECT_FALSE(bm.test_and_set(3));
+  EXPECT_TRUE(bm.test_and_set(3));
+  EXPECT_TRUE(bm.test(3));
+}
+
+// The BFS-claim contract: when several threads race test_and_set on the
+// same bits, each bit is won exactly once.
+TEST(AtomicBitmap, ConcurrentClaimIsExclusive) {
+  constexpr std::uint64_t kBits = 1 << 14;
+  constexpr int kThreads = 4;
+  AtomicBitmap bm(kBits);
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = 0; i < kBits; ++i) {
+        if (!bm.test_and_set(i)) ++local;
+      }
+      wins.fetch_add(local);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wins.load(), kBits);
+  EXPECT_EQ(bm.count_set(), kBits);
+}
+
+}  // namespace
+}  // namespace fbfs

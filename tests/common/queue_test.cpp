@@ -1,0 +1,120 @@
+// Queue contracts, including the threaded handoffs the TSan CI job
+// exercises.
+#include "common/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace fbfs {
+namespace {
+
+TEST(SpscQueue, FifoWithinCapacity) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_FALSE(q.try_push(5));  // full
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_TRUE(q.try_push(5));
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), 4);
+  EXPECT_EQ(q.try_pop(), 5);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(SpscQueue, ProducerConsumerPreservesOrder) {
+  constexpr int kItems = 200'000;
+  SpscQueue<int> q(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  int item = 0;
+  while (q.pop(item)) {
+    ASSERT_EQ(item, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, kItems);
+  producer.join();
+}
+
+TEST(SpscQueue, CloseDrainsThenStops) {
+  SpscQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  int item = 0;
+  EXPECT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 1);
+  EXPECT_TRUE(q.pop(item));
+  EXPECT_EQ(item, 2);
+  EXPECT_FALSE(q.pop(item));
+}
+
+TEST(MpscQueue, TryPushRespectsCapacity) {
+  MpscQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(MpscQueue, ManyProducersOneConsumer) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50'000;
+  MpscQueue<int> q(128);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  std::thread closer([&] {
+    for (std::thread& t : producers) t.join();
+    q.close();
+  });
+
+  long long sum = 0;
+  long long count = 0;
+  int item = 0;
+  while (q.pop(item)) {
+    sum += item;
+    ++count;
+  }
+  closer.join();
+  EXPECT_EQ(count, static_cast<long long>(kProducers) * kPerProducer);
+  const long long per_producer =
+      static_cast<long long>(kPerProducer) * (kPerProducer + 1) / 2;
+  EXPECT_EQ(sum, kProducers * per_producer);
+}
+
+TEST(MpscQueue, CloseWakesBlockedConsumer) {
+  MpscQueue<int> q(4);
+  std::thread consumer([&] {
+    int item = 0;
+    EXPECT_FALSE(q.pop(item));  // blocks until close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(42));
+  auto out = q.try_pop();
+  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(*out != nullptr);
+  EXPECT_EQ(**out, 42);
+}
+
+}  // namespace
+}  // namespace fbfs

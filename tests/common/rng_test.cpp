@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbfs {
+namespace {
+
+// Reference values computed with an independent implementation of
+// splitmix64 seeding + xoshiro256** (Blackman & Vigna reference code).
+TEST(Rng, KnownAnswerSeed42) {
+  Rng rng(42);
+  EXPECT_EQ(rng.next_u64(), 0x15780b2e0c2ec716ull);
+  EXPECT_EQ(rng.next_u64(), 0x6104d9866d113a7eull);
+  EXPECT_EQ(rng.next_u64(), 0xae17533239e499a1ull);
+  EXPECT_EQ(rng.next_u64(), 0xecb8ad4703b360a1ull);
+  EXPECT_EQ(rng.next_u64(), 0xfde6dc7fe2ec5e64ull);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    any_diff |= va != c.next_u64();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowStaysInRangeAndHitsAllResidues) {
+  Rng rng(3);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[v];
+  }
+  for (int count : seen) EXPECT_GT(count, 0);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleUniformish) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);
+}
+
+TEST(Zipf, FrequenciesSkewTowardsSmallRanks) {
+  Rng rng(11);
+  const std::uint64_t n = 1000;
+  ZipfSampler zipf(n, 1.1);  // theta > 1: the YCSB closed form can't do this
+  std::vector<std::uint64_t> count(n, 0);
+  const int samples = 100'000;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t v = zipf.sample(rng);
+    ASSERT_LT(v, n);
+    ++count[v];
+  }
+  // Rank 0 dominates and the head outweighs the tail by a wide margin.
+  EXPECT_GT(count[0], count[1]);
+  EXPECT_GT(count[0], samples / 10);
+  std::uint64_t head = 0, tail = 0;
+  for (std::uint64_t k = 0; k < 10; ++k) head += count[k];
+  for (std::uint64_t k = n - 500; k < n; ++k) tail += count[k];
+  EXPECT_GT(head, tail * 4);
+}
+
+TEST(Zipf, NearUniformForTinyTheta) {
+  Rng rng(13);
+  ZipfSampler zipf(4, 0.01);
+  std::vector<std::uint64_t> count(4, 0);
+  for (int i = 0; i < 40'000; ++i) ++count[zipf.sample(rng)];
+  for (std::uint64_t c : count) {
+    EXPECT_NEAR(static_cast<double>(c), 10'000.0, 1'000.0);
+  }
+}
+
+}  // namespace
+}  // namespace fbfs

@@ -1,0 +1,187 @@
+// Stream and record-stream roundtrips across block boundaries and
+// buffer sizes (the storage half of DESIGN invariant 7's "any edge
+// sequence, across block boundaries and reader buffer sizes").
+#include "storage/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/temp_dir.hpp"
+
+namespace fbfs::io {
+namespace {
+
+struct EdgeRec {
+  std::uint32_t src;
+  std::uint32_t dst;
+  bool operator==(const EdgeRec&) const = default;
+};
+
+Device make_device(const TempDir& dir) {
+  return Device(dir.str(), DeviceModel::unthrottled());
+}
+
+TEST(Stream, RawBytesRoundTripAcrossMismatchedBuffers) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  fbfs::Rng rng(1);
+
+  std::vector<std::byte> payload(100'003);  // prime-ish, never aligned
+  for (auto& b : payload) {
+    b = static_cast<std::byte>(rng.next_below(256));
+  }
+
+  for (const std::size_t write_buf : {1ul, 7ul, 4096ul, 1ul << 17}) {
+    for (const std::size_t read_buf : {3ul, 1024ul, 1ul << 17}) {
+      auto f = dev.open("blob", true);
+      StreamWriter writer(*f, write_buf);
+      // Append in ragged chunks to cross every buffer boundary.
+      std::size_t off = 0;
+      while (off < payload.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.next_below(9973),
+                                  payload.size() - off);
+        writer.append_raw(payload.data() + off, n);
+        off += n;
+      }
+      writer.flush();
+      ASSERT_EQ(f->size(), payload.size());
+
+      StreamReader reader(*f, read_buf);
+      std::vector<std::byte> back(payload.size());
+      std::size_t got = 0;
+      while (got < back.size()) {
+        const std::size_t n = reader.read(
+            back.data() + got,
+            std::min<std::size_t>(1 + rng.next_below(8191),
+                                  back.size() - got));
+        ASSERT_GT(n, 0u);
+        got += n;
+      }
+      ASSERT_EQ(back, payload)
+          << "write_buf=" << write_buf << " read_buf=" << read_buf;
+    }
+  }
+}
+
+TEST(Stream, ReaderPositionTracksDeliveredBytes) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  auto f = dev.open("blob", true);
+  std::vector<std::byte> data(1000, std::byte{7});
+  f->append(data.data(), data.size());
+
+  StreamReader reader(*f, 64);
+  EXPECT_EQ(reader.position(), 0u);
+  std::byte buf[10];
+  reader.read(buf, 10);
+  EXPECT_EQ(reader.position(), 10u);
+  reader.read(buf, 7);
+  EXPECT_EQ(reader.position(), 17u);
+}
+
+TEST(RecordStream, RoundTripSingleAndBatch) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  fbfs::Rng rng(2);
+
+  std::vector<EdgeRec> edges(10'000);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    edges[i] = {i, static_cast<std::uint32_t>(rng.next_below(1 << 20))};
+  }
+
+  auto f = dev.open("edges", true);
+  {
+    RecordWriter<EdgeRec> writer(*f, 1 << 12);
+    // Mix single appends and batches.
+    for (std::size_t i = 0; i < 100; ++i) writer.append(edges[i]);
+    writer.append_batch(
+        std::span<const EdgeRec>(edges.data() + 100, edges.size() - 100));
+    writer.flush();
+    EXPECT_EQ(writer.records_appended(), edges.size());
+  }
+  ASSERT_EQ(f->size(), edges.size() * sizeof(EdgeRec));
+
+  // next() one by one.
+  {
+    RecordReader<EdgeRec> reader(*f, 1 << 10);
+    EdgeRec rec;
+    for (const EdgeRec& expected : edges) {
+      ASSERT_TRUE(reader.next(rec));
+      ASSERT_EQ(rec, expected);
+    }
+    EXPECT_FALSE(reader.next(rec));
+  }
+
+  // next_batch() across several buffer sizes, including ones that do
+  // not divide the record count.
+  for (const std::size_t buf : {sizeof(EdgeRec), 24ul, 1000ul, 1ul << 16,
+                                1ul << 22}) {
+    RecordReader<EdgeRec> reader(*f, buf);
+    std::vector<EdgeRec> back;
+    for (auto batch = reader.next_batch(); !batch.empty();
+         batch = reader.next_batch()) {
+      back.insert(back.end(), batch.begin(), batch.end());
+    }
+    ASSERT_EQ(back, edges) << "buf=" << buf;
+  }
+}
+
+TEST(RecordStream, ReaderCanStartAtAnAlignedOffset) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  auto f = dev.open("edges", true);
+  std::vector<EdgeRec> edges;
+  for (std::uint32_t i = 0; i < 100; ++i) edges.push_back({i, i + 1});
+  RecordWriter<EdgeRec> writer(*f, 256);
+  writer.append_batch(edges);
+  writer.flush();
+
+  RecordReader<EdgeRec> reader(*f, 64, 40 * sizeof(EdgeRec));
+  EdgeRec rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec, (EdgeRec{40, 41}));
+}
+
+TEST(RecordStream, TwoReadersShareOneFileIndependently) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  auto f = dev.open("edges", true);
+  std::vector<EdgeRec> edges;
+  for (std::uint32_t i = 0; i < 1000; ++i) edges.push_back({i, i});
+  RecordWriter<EdgeRec> writer(*f, 512);
+  writer.append_batch(edges);
+  writer.flush();
+
+  RecordReader<EdgeRec> a(*f, 128);
+  RecordReader<EdgeRec> b(*f, 4096);
+  EdgeRec ra, rb;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(a.next(ra));
+    EXPECT_EQ(ra.src, i);
+  }
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(b.next(rb));
+    EXPECT_EQ(rb.src, i);
+  }
+  ASSERT_TRUE(a.next(ra));
+  EXPECT_EQ(ra.src, 500u);
+}
+
+TEST(RecordStreamDeath, MidRecordEofIsAnError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  auto f = dev.open("broken", true);
+  const std::byte junk[5] = {};
+  f->append(junk, sizeof(junk));  // 5 bytes: not a whole EdgeRec
+  RecordReader<EdgeRec> reader(*f, 1024);
+  EdgeRec rec;
+  EXPECT_DEATH((void)reader.next(rec), "ends mid-record");
+}
+
+}  // namespace
+}  // namespace fbfs::io
