@@ -1,0 +1,388 @@
+#include "graph/generators.hpp"
+
+#include <future>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "storage/stream.hpp"
+
+namespace fbfs::graph {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+std::string shard_name(const std::string& name, std::uint64_t chunk) {
+  return name + ".gshard" + std::to_string(chunk);
+}
+
+}  // namespace
+
+void ChunkedEdgeSource::generate(const EdgeSink& sink) const {
+  const std::uint64_t chunks = num_chunks();
+  for (std::uint64_t c = 0; c < chunks; ++c) generate_chunk(c, sink);
+}
+
+// ------------------------------------------------------------- R-MAT
+
+RmatSource::RmatSource(const RmatParams& params) : params_(params) {
+  FB_CHECK_MSG(params_.scale >= 1 && params_.scale <= 31,
+               "rmat scale out of VertexId range: " << params_.scale);
+  FB_CHECK_MSG(params_.a >= 0 && params_.b >= 0 && params_.c >= 0 &&
+                   params_.a + params_.b + params_.c <= 1.0,
+               "rmat quadrant probabilities invalid");
+}
+
+std::uint64_t RmatSource::num_edges() const {
+  return std::uint64_t{params_.edge_factor} << params_.scale;
+}
+
+std::uint64_t RmatSource::num_chunks() const {
+  return ceil_div(num_edges(), kChunkTargetEdges);
+}
+
+void RmatSource::generate_chunk(std::uint64_t chunk,
+                                const EdgeSink& sink) const {
+  Rng rng = chunk_rng(params_.seed, chunk);
+  const std::uint64_t begin = chunk * kChunkTargetEdges;
+  const std::uint64_t end =
+      std::min(num_edges(), begin + kChunkTargetEdges);
+  const double ab = params_.a + params_.b;
+  const double abc = ab + params_.c;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (std::uint32_t level = 0; level < params_.scale; ++level) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < params_.a) {
+        // top-left quadrant: both bits 0
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    sink(Edge{src, dst});
+  }
+}
+
+// ------------------------------------------------------ Erdős–Rényi
+
+ErdosRenyiSource::ErdosRenyiSource(const ErdosRenyiParams& params)
+    : params_(params) {
+  FB_CHECK_MSG(params_.num_vertices > 0, "ER graph needs vertices");
+}
+
+std::uint64_t ErdosRenyiSource::num_chunks() const {
+  return ceil_div(params_.num_edges, kChunkTargetEdges);
+}
+
+void ErdosRenyiSource::generate_chunk(std::uint64_t chunk,
+                                      const EdgeSink& sink) const {
+  Rng rng = chunk_rng(params_.seed, chunk);
+  const std::uint64_t begin = chunk * kChunkTargetEdges;
+  const std::uint64_t end =
+      std::min(params_.num_edges, begin + kChunkTargetEdges);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    sink(Edge{static_cast<VertexId>(rng.next_below(params_.num_vertices)),
+              static_cast<VertexId>(rng.next_below(params_.num_vertices))});
+  }
+}
+
+// ------------------------------------------------------------- grid
+
+Grid2dSource::Grid2dSource(const Grid2dParams& params) : params_(params) {
+  FB_CHECK_MSG(params_.width >= 1 && params_.height >= 1,
+               "grid needs positive dimensions");
+  FB_CHECK_MSG(std::uint64_t{params_.width} * params_.height <=
+                   std::uint64_t{1} << 32,
+               "grid too large for 32-bit vertex ids");
+}
+
+std::uint64_t Grid2dSource::num_vertices() const {
+  return std::uint64_t{params_.width} * params_.height;
+}
+
+std::uint64_t Grid2dSource::num_edges() const {
+  const std::uint64_t w = params_.width;
+  const std::uint64_t h = params_.height;
+  return 2 * ((w - 1) * h + w * (h - 1));
+}
+
+std::uint64_t Grid2dSource::rows_per_chunk() const {
+  // ~kChunkTargetEdges edges per chunk; each row emits < 4 * width.
+  return std::max<std::uint64_t>(
+      1, kChunkTargetEdges / std::max<std::uint64_t>(1, 4 * params_.width));
+}
+
+std::uint64_t Grid2dSource::num_chunks() const {
+  return ceil_div(params_.height, rows_per_chunk());
+}
+
+void Grid2dSource::generate_chunk(std::uint64_t chunk,
+                                  const EdgeSink& sink) const {
+  const std::uint64_t w = params_.width;
+  const std::uint64_t h = params_.height;
+  const std::uint64_t row_begin = chunk * rows_per_chunk();
+  const std::uint64_t row_end = std::min(h, row_begin + rows_per_chunk());
+  for (std::uint64_t y = row_begin; y < row_end; ++y) {
+    for (std::uint64_t x = 0; x < w; ++x) {
+      const auto v = static_cast<VertexId>(y * w + x);
+      if (x + 1 < w) {
+        sink(Edge{v, v + 1});
+        sink(Edge{v + 1, v});
+      }
+      if (y + 1 < h) {
+        const auto down = static_cast<VertexId>(v + w);
+        sink(Edge{v, down});
+        sink(Edge{down, v});
+      }
+    }
+  }
+}
+
+// ----------------------------------------------- social stand-ins
+
+TwitterLikeSource::TwitterLikeSource(const TwitterLikeParams& params)
+    : params_(params),
+      fringe_(params.num_vertices / 4),
+      main_edges_(0),
+      out_sampler_(params.num_vertices - params.num_vertices / 4,
+                   params.theta_out),
+      in_sampler_(params.num_vertices - params.num_vertices / 4,
+                  params.theta_in) {
+  core_ = params_.num_vertices - fringe_;
+  FB_CHECK_MSG(core_ >= 1, "twitter-like graph needs a non-empty core");
+  FB_CHECK_MSG(params_.chain_length >= 1, "chain_length must be positive");
+  FB_CHECK_MSG(params_.num_edges >= fringe_,
+               "twitter-like needs num_edges >= fringe size " << fringe_);
+  main_edges_ = params_.num_edges - fringe_;
+  main_chunks_ = ceil_div(main_edges_, kChunkTargetEdges);
+  chains_ = ceil_div(fringe_, params_.chain_length);
+  chains_per_chunk_ = std::max<std::uint64_t>(
+      1, kChunkTargetEdges / params_.chain_length);
+}
+
+std::uint64_t TwitterLikeSource::num_chunks() const {
+  return main_chunks_ + ceil_div(chains_, chains_per_chunk_);
+}
+
+void TwitterLikeSource::generate_chunk(std::uint64_t chunk,
+                                       const EdgeSink& sink) const {
+  Rng rng = chunk_rng(params_.seed, chunk);
+  if (chunk < main_chunks_) {
+    const std::uint64_t begin = chunk * kChunkTargetEdges;
+    const std::uint64_t end =
+        std::min(main_edges_, begin + kChunkTargetEdges);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const auto src = static_cast<VertexId>(out_sampler_.sample(rng));
+      const auto dst = static_cast<VertexId>(
+          rng.next_bool(params_.uniform_fraction)
+              ? rng.next_below(core_)
+              : in_sampler_.sample(rng));
+      sink(Edge{src, dst});
+    }
+    return;
+  }
+  // Fringe chains: every fringe vertex receives exactly one edge — the
+  // chain head from a random core attach point, the rest from its chain
+  // predecessor — so BFS walks each chain one level per round.
+  const std::uint64_t chain_begin = (chunk - main_chunks_) * chains_per_chunk_;
+  const std::uint64_t chain_end =
+      std::min(chains_, chain_begin + chains_per_chunk_);
+  for (std::uint64_t k = chain_begin; k < chain_end; ++k) {
+    const std::uint64_t start = core_ + k * params_.chain_length;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(params_.chain_length,
+                                params_.num_vertices - start);
+    const auto attach = static_cast<VertexId>(rng.next_below(core_));
+    sink(Edge{attach, static_cast<VertexId>(start)});
+    for (std::uint64_t i = 1; i < len; ++i) {
+      sink(Edge{static_cast<VertexId>(start + i - 1),
+                static_cast<VertexId>(start + i)});
+    }
+  }
+}
+
+FriendsterLikeSource::FriendsterLikeSource(
+    const FriendsterLikeParams& params)
+    : params_(params),
+      fringe_(params.num_vertices / 4),
+      sampler_(params.num_vertices - params.num_vertices / 4, params.theta) {
+  core_ = params_.num_vertices - fringe_;
+  FB_CHECK_MSG(core_ >= 1, "friendster-like graph needs a non-empty core");
+  FB_CHECK_MSG(params_.chain_length >= 1, "chain_length must be positive");
+  FB_CHECK_MSG(params_.num_undirected_edges >= fringe_,
+               "friendster-like needs num_undirected_edges >= fringe size "
+                   << fringe_);
+  main_undirected_ = params_.num_undirected_edges - fringe_;
+  main_chunks_ = ceil_div(main_undirected_, kChunkTargetEdges / 2);
+  chains_ = ceil_div(fringe_, params_.chain_length);
+  chains_per_chunk_ = std::max<std::uint64_t>(
+      1, (kChunkTargetEdges / 2) / params_.chain_length);
+}
+
+std::uint64_t FriendsterLikeSource::num_chunks() const {
+  return main_chunks_ + ceil_div(chains_, chains_per_chunk_);
+}
+
+void FriendsterLikeSource::generate_chunk(std::uint64_t chunk,
+                                          const EdgeSink& sink) const {
+  Rng rng = chunk_rng(params_.seed, chunk);
+  const auto emit_both = [&](VertexId u, VertexId v) {
+    sink(Edge{u, v});
+    sink(Edge{v, u});
+  };
+  if (chunk < main_chunks_) {
+    const std::uint64_t per_chunk = kChunkTargetEdges / 2;
+    const std::uint64_t begin = chunk * per_chunk;
+    const std::uint64_t end = std::min(main_undirected_, begin + per_chunk);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const auto u = static_cast<VertexId>(
+          rng.next_bool(params_.uniform_fraction) ? rng.next_below(core_)
+                                                  : sampler_.sample(rng));
+      auto v = static_cast<VertexId>(rng.next_below(core_));
+      if (v == u && core_ > 1) v = static_cast<VertexId>((v + 1) % core_);
+      emit_both(u, v);
+    }
+    return;
+  }
+  const std::uint64_t chain_begin = (chunk - main_chunks_) * chains_per_chunk_;
+  const std::uint64_t chain_end =
+      std::min(chains_, chain_begin + chains_per_chunk_);
+  for (std::uint64_t k = chain_begin; k < chain_end; ++k) {
+    const std::uint64_t start = core_ + k * params_.chain_length;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(params_.chain_length,
+                                params_.num_vertices - start);
+    const auto attach = static_cast<VertexId>(rng.next_below(core_));
+    emit_both(attach, static_cast<VertexId>(start));
+    for (std::uint64_t i = 1; i < len; ++i) {
+      emit_both(static_cast<VertexId>(start + i - 1),
+                static_cast<VertexId>(start + i));
+    }
+  }
+}
+
+// -------------------------------------------------- serial wrappers
+
+void generate_rmat(const RmatParams& params, const EdgeSink& sink) {
+  RmatSource(params).generate(sink);
+}
+
+void generate_erdos_renyi(const ErdosRenyiParams& params,
+                          const EdgeSink& sink) {
+  ErdosRenyiSource(params).generate(sink);
+}
+
+void generate_grid2d(const Grid2dParams& params, const EdgeSink& sink) {
+  Grid2dSource(params).generate(sink);
+}
+
+void generate_twitter_like(const TwitterLikeParams& params,
+                           const EdgeSink& sink) {
+  TwitterLikeSource(params).generate(sink);
+}
+
+void generate_friendster_like(const FriendsterLikeParams& params,
+                              const EdgeSink& sink) {
+  FriendsterLikeSource(params).generate(sink);
+}
+
+// ------------------------------------------- parallel build pipeline
+
+ParallelBuildReport build_edge_list_parallel(
+    io::Device& device, const std::string& name,
+    const ChunkedEdgeSource& source, const ParallelBuildOptions& options) {
+  std::vector<io::Device*> devices = options.shard_devices;
+  if (devices.empty()) devices.push_back(&device);
+  const std::uint64_t chunks = source.num_chunks();
+  const std::uint64_t num_vertices = source.num_vertices();
+
+  struct ChunkResult {
+    std::uint64_t edges = 0;
+    std::uint64_t digest = 0;
+  };
+
+  ParallelBuildReport report;
+  report.num_chunks = chunks;
+  GraphMeta& meta = report.meta;
+  meta.name = name;
+  meta.num_vertices = num_vertices;
+  meta.seed = source.seed();
+  meta.undirected = source.undirected();
+
+  // Fan-out: each chunk generates into its own shard file through the
+  // worker's private RecordWriter. Chunk -> device placement is keyed
+  // on the chunk index, so the file layout (and the merge below) is
+  // independent of which worker ran which chunk.
+  ThreadPool pool(options.threads == 0 ? 1 : options.threads);
+  std::vector<std::future<ChunkResult>> results;
+  results.reserve(chunks);
+  Stopwatch generate_watch;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    io::Device* shard_device = devices[c % devices.size()];
+    results.push_back(pool.submit([&, c, shard_device] {
+      auto shard = shard_device->open(shard_name(name, c), /*truncate=*/true);
+      io::RecordWriter<Edge> writer(*shard, options.writer_buffer_bytes);
+      ChunkResult result;
+      source.generate_chunk(c, [&](const Edge& e) {
+        FB_CHECK_MSG(e.src < num_vertices && e.dst < num_vertices,
+                     "edge (" << e.src << ", " << e.dst
+                              << ") outside vertex range of " << name << " ("
+                              << num_vertices << " vertices)");
+        writer.append(e);
+        result.digest += edge_digest(e);
+        ++result.edges;
+      });
+      writer.flush();
+      return result;
+    }));
+  }
+  for (auto& result : results) {
+    const ChunkResult r = result.get();
+    meta.num_edges += r.edges;
+    meta.checksum += r.digest;
+  }
+  report.generate_seconds = generate_watch.seconds();
+  FB_CHECK_EQ(meta.num_edges, source.num_edges());
+
+  // Deterministic merge: concatenate shards in chunk order. Whole-buffer
+  // copies ride the StreamWriter large-write bypass straight to the
+  // device.
+  Stopwatch merge_watch;
+  auto out_file = device.open(meta.edge_file(), /*truncate=*/true);
+  io::StreamWriter out(*out_file, options.writer_buffer_bytes);
+  std::vector<std::byte> buffer(
+      options.writer_buffer_bytes == 0 ? 1 : options.writer_buffer_bytes);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    io::Device* shard_device = devices[c % devices.size()];
+    {
+      auto shard = shard_device->open(shard_name(name, c));
+      std::uint64_t offset = 0;
+      for (;;) {
+        const std::size_t got =
+            shard->read_at(offset, buffer.data(), buffer.size());
+        if (got == 0) break;
+        out.append_raw(buffer.data(), got);
+        offset += got;
+      }
+    }
+    shard_device->remove(shard_name(name, c));
+  }
+  out.flush();
+  report.merge_seconds = merge_watch.seconds();
+  FB_CHECK_EQ(out_file->size(), meta.edge_bytes());
+
+  save_meta(device, meta);
+  return report;
+}
+
+}  // namespace fbfs::graph

@@ -1,0 +1,252 @@
+// Synthetic graph generators (Table II stand-ins) and the parallel
+// build pipeline that writes them to disk.
+//
+// Every generator is a ChunkedEdgeSource: the edge stream is defined as
+// the concatenation of `num_chunks()` independent chunks, and chunk `c`
+// draws all of its randomness from an Rng seeded by (seed, c) alone.
+// That one rule buys the whole pipeline:
+//
+//  * determinism — the stream depends only on the seed, never on the
+//    thread count or chunk scheduling (Graph500's R-MAT generator uses
+//    the same per-edge-block reseeding trick; Buluç & Madduri,
+//    arXiv:1104.4518);
+//  * parallelism — build_edge_list_parallel farms chunks over a
+//    common::ThreadPool, each worker streaming its chunk through its
+//    own RecordWriter into a per-chunk shard file (optionally spread
+//    across several shard devices so modelled-disk time overlaps), and
+//    a deterministic in-order merge produces a file byte-identical to
+//    the serial write_generated path.
+//
+// Generators: R-MAT (Graph500 recursive quadrants), Erdős–Rényi G(n,m),
+// 2-D grid (high-diameter control), and the twitter-like /
+// friendster-like social stand-ins of DESIGN.md — power-law cores with
+// a uniform-destination mixture plus bounded "fringe chains" through a
+// reserved quarter of the id space, which reproduce the straggler tail
+// that keeps real social-graph BFS iterating.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace fbfs::graph {
+
+/// Edges per chunk the sources aim for; small enough that any thread
+/// count ≤ 16 load-balances, large enough that per-chunk overhead
+/// (shard open, seeding) vanishes.
+inline constexpr std::uint64_t kChunkTargetEdges = 1ull << 16;
+
+/// The chunk's private random stream: a function of (seed, chunk) only.
+inline Rng chunk_rng(std::uint64_t seed, std::uint64_t chunk) {
+  std::uint64_t mix = chunk + 0x9e3779b97f4a7c15ull;
+  return Rng(seed ^ splitmix64_next(mix));
+}
+
+class ChunkedEdgeSource {
+ public:
+  virtual ~ChunkedEdgeSource() = default;
+
+  virtual std::uint64_t num_vertices() const = 0;
+  virtual std::uint64_t num_edges() const = 0;  // exact, known up front
+  virtual std::uint64_t seed() const = 0;
+  virtual bool undirected() const { return false; }
+
+  virtual std::uint64_t num_chunks() const = 0;
+  virtual void generate_chunk(std::uint64_t chunk,
+                              const EdgeSink& sink) const = 0;
+
+  /// The full stream: chunks in index order.
+  void generate(const EdgeSink& sink) const;
+};
+
+// ------------------------------------------------------------- R-MAT
+
+struct RmatParams {
+  std::uint32_t scale = 16;        // 2^scale vertices
+  std::uint32_t edge_factor = 16;  // edges = edge_factor * 2^scale
+  std::uint64_t seed = 1;
+  // Graph500 quadrant probabilities; d = 1 - a - b - c.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+};
+
+class RmatSource final : public ChunkedEdgeSource {
+ public:
+  explicit RmatSource(const RmatParams& params);
+
+  std::uint64_t num_vertices() const override { return 1ull << params_.scale; }
+  std::uint64_t num_edges() const override;
+  std::uint64_t seed() const override { return params_.seed; }
+  std::uint64_t num_chunks() const override;
+  void generate_chunk(std::uint64_t chunk,
+                      const EdgeSink& sink) const override;
+
+ private:
+  RmatParams params_;
+};
+
+// ------------------------------------------------------ Erdős–Rényi
+
+struct ErdosRenyiParams {
+  std::uint64_t num_vertices = 1 << 16;
+  std::uint64_t num_edges = 1 << 20;  // G(n, m): m uniform random edges
+  std::uint64_t seed = 1;
+};
+
+class ErdosRenyiSource final : public ChunkedEdgeSource {
+ public:
+  explicit ErdosRenyiSource(const ErdosRenyiParams& params);
+
+  std::uint64_t num_vertices() const override { return params_.num_vertices; }
+  std::uint64_t num_edges() const override { return params_.num_edges; }
+  std::uint64_t seed() const override { return params_.seed; }
+  std::uint64_t num_chunks() const override;
+  void generate_chunk(std::uint64_t chunk,
+                      const EdgeSink& sink) const override;
+
+ private:
+  ErdosRenyiParams params_;
+};
+
+// ------------------------------------------------------------- grid
+
+struct Grid2dParams {
+  std::uint32_t width = 64;
+  std::uint32_t height = 64;
+};
+
+/// 4-neighbour lattice with both edge directions present: the
+/// high-diameter control graph (diameter = width + height - 2).
+class Grid2dSource final : public ChunkedEdgeSource {
+ public:
+  explicit Grid2dSource(const Grid2dParams& params);
+
+  std::uint64_t num_vertices() const override;
+  std::uint64_t num_edges() const override;
+  std::uint64_t seed() const override { return 0; }
+  std::uint64_t num_chunks() const override;
+  void generate_chunk(std::uint64_t chunk,
+                      const EdgeSink& sink) const override;
+
+ private:
+  std::uint64_t rows_per_chunk() const;
+
+  Grid2dParams params_;
+};
+
+// ----------------------------------------------- social stand-ins
+
+struct TwitterLikeParams {
+  std::uint64_t num_vertices = 512ull << 10;
+  std::uint64_t num_edges = 8ull << 20;
+  std::uint64_t seed = 1;
+  double theta_out = 0.60;         // source (out-degree) skew
+  double theta_in = 0.75;          // popular-destination skew
+  double uniform_fraction = 0.30;  // uniform-destination mixture
+  std::uint32_t chain_length = 12;  // bounded fringe chains (~14 rounds)
+};
+
+class TwitterLikeSource final : public ChunkedEdgeSource {
+ public:
+  explicit TwitterLikeSource(const TwitterLikeParams& params);
+
+  std::uint64_t num_vertices() const override { return params_.num_vertices; }
+  std::uint64_t num_edges() const override { return params_.num_edges; }
+  std::uint64_t seed() const override { return params_.seed; }
+  std::uint64_t num_chunks() const override;
+  void generate_chunk(std::uint64_t chunk,
+                      const EdgeSink& sink) const override;
+
+ private:
+  TwitterLikeParams params_;
+  std::uint64_t core_;    // vertices [0, core_) form the power-law core
+  std::uint64_t fringe_;  // vertices [core_, V) form the chain fringe
+  std::uint64_t main_edges_;
+  std::uint64_t main_chunks_;
+  std::uint64_t chains_;
+  std::uint64_t chains_per_chunk_;
+  ZipfSampler out_sampler_;
+  ZipfSampler in_sampler_;
+};
+
+struct FriendsterLikeParams {
+  std::uint64_t num_vertices = 1ull << 20;
+  std::uint64_t num_undirected_edges = 6ull << 20;  // records = 2x this
+  std::uint64_t seed = 1;
+  double theta = 0.40;             // milder skew than twitter
+  double uniform_fraction = 0.50;  // half the endpoints uniform
+  std::uint32_t chain_length = 27;  // ~29 BFS rounds (diameter 32 graph)
+};
+
+/// Symmetric edge list: every undirected edge is emitted in both
+/// directions, adjacent in the stream.
+class FriendsterLikeSource final : public ChunkedEdgeSource {
+ public:
+  explicit FriendsterLikeSource(const FriendsterLikeParams& params);
+
+  std::uint64_t num_vertices() const override { return params_.num_vertices; }
+  std::uint64_t num_edges() const override {
+    return 2 * params_.num_undirected_edges;
+  }
+  std::uint64_t seed() const override { return params_.seed; }
+  bool undirected() const override { return true; }
+  std::uint64_t num_chunks() const override;
+  void generate_chunk(std::uint64_t chunk,
+                      const EdgeSink& sink) const override;
+
+ private:
+  FriendsterLikeParams params_;
+  std::uint64_t core_;
+  std::uint64_t fringe_;
+  std::uint64_t main_undirected_;
+  std::uint64_t main_chunks_;
+  std::uint64_t chains_;
+  std::uint64_t chains_per_chunk_;
+  ZipfSampler sampler_;
+};
+
+// -------------------------------------------------- serial wrappers
+
+void generate_rmat(const RmatParams& params, const EdgeSink& sink);
+void generate_erdos_renyi(const ErdosRenyiParams& params,
+                          const EdgeSink& sink);
+void generate_grid2d(const Grid2dParams& params, const EdgeSink& sink);
+void generate_twitter_like(const TwitterLikeParams& params,
+                           const EdgeSink& sink);
+void generate_friendster_like(const FriendsterLikeParams& params,
+                              const EdgeSink& sink);
+
+// ------------------------------------------- parallel build pipeline
+
+struct ParallelBuildOptions {
+  unsigned threads = 1;
+  /// Per-writer (and merge) staging buffer.
+  std::size_t writer_buffer_bytes = 1 << 20;
+  /// Devices the per-chunk shard files round-robin over; empty means
+  /// the target device. Spreading shards over several devices lets the
+  /// modelled disks serve chunks concurrently (multi-disk build box),
+  /// which is what makes generation scale past compute on one core.
+  std::vector<io::Device*> shard_devices;
+};
+
+struct ParallelBuildReport {
+  GraphMeta meta;
+  std::uint64_t num_chunks = 0;
+  double generate_seconds = 0.0;  // shard fan-out phase (parallel)
+  double merge_seconds = 0.0;     // in-order concatenation onto `device`
+};
+
+/// Generates `source` into `name.edges` + `name.meta` on `device`
+/// through the chunked parallel pipeline. The committed file is
+/// byte-identical to write_generated(...) streaming the same source
+/// serially, for every thread count and shard placement.
+ParallelBuildReport build_edge_list_parallel(
+    io::Device& device, const std::string& name,
+    const ChunkedEdgeSource& source, const ParallelBuildOptions& options = {});
+
+}  // namespace fbfs::graph

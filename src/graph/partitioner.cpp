@@ -1,0 +1,130 @@
+#include "graph/partitioner.hpp"
+
+#include <memory>
+
+#include "common/log.hpp"
+#include "storage/prefetch.hpp"
+#include "storage/stream.hpp"
+
+namespace fbfs::graph {
+
+PartitionLayout::PartitionLayout(std::uint64_t num_vertices,
+                                 std::uint32_t num_partitions)
+    : num_vertices_(num_vertices), num_partitions_(num_partitions) {
+  FB_CHECK_MSG(num_partitions >= 1, "need at least one partition");
+  base_ = num_vertices / num_partitions;
+  extra_ = num_vertices % num_partitions;
+}
+
+VertexId PartitionLayout::begin(std::uint32_t p) const {
+  FB_CHECK_LE(p, num_partitions_);
+  const std::uint64_t extra_here = std::min<std::uint64_t>(p, extra_);
+  return static_cast<VertexId>(p * base_ + extra_here);
+}
+
+std::uint32_t PartitionLayout::owner(VertexId v) const {
+  FB_CHECK_LT(v, num_vertices_);
+  const std::uint64_t wide_end = extra_ * (base_ + 1);
+  if (v < wide_end) {
+    return static_cast<std::uint32_t>(v / (base_ + 1));
+  }
+  // base_ > 0 here: wide_end == num_vertices_ when base_ == 0, and v is
+  // below num_vertices_.
+  return static_cast<std::uint32_t>(extra_ + (v - wide_end) / base_);
+}
+
+std::string PartitionedGraph::partition_file(std::uint32_t p) const {
+  return meta.name + ".P" + std::to_string(layout.num_partitions()) +
+         ".part" + std::to_string(p);
+}
+
+PartitionedGraph partition_edge_list(io::Device& device,
+                                     const GraphMeta& meta,
+                                     std::uint32_t num_partitions,
+                                     std::size_t buffer_bytes) {
+  FB_CHECK_EQ(meta.record_size, sizeof(Edge));
+  PartitionedGraph pg;
+  pg.meta = meta;
+  pg.layout = PartitionLayout(meta.num_vertices, num_partitions);
+  pg.edges_per_partition.assign(num_partitions, 0);
+
+  // Half the budget feeds the (double-buffered) input scan, the other
+  // half is split into per-partition staging buffers.
+  const std::size_t read_buffer =
+      std::max<std::size_t>(sizeof(Edge), buffer_bytes / 2);
+  const std::size_t write_buffer = std::max<std::size_t>(
+      sizeof(Edge), buffer_bytes / 2 / num_partitions);
+
+  auto input = device.open(meta.edge_file());
+  struct PartitionOut {
+    std::unique_ptr<io::File> file;
+    std::unique_ptr<io::RecordWriter<Edge>> writer;
+  };
+  std::vector<PartitionOut> outputs(num_partitions);
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    outputs[p].file = device.open(pg.partition_file(p), /*truncate=*/true);
+    outputs[p].writer =
+        std::make_unique<io::RecordWriter<Edge>>(*outputs[p].file,
+                                                 write_buffer);
+  }
+
+  io::PrefetchRecordReader<Edge> reader(*input, read_buffer);
+  std::uint64_t total = 0;
+  std::uint64_t checksum = 0;
+  for (auto batch = reader.next_batch(); !batch.empty();
+       batch = reader.next_batch()) {
+    for (const Edge& e : batch) {
+      const std::uint32_t p = pg.layout.owner(e.src);
+      outputs[p].writer->append(e);
+      ++pg.edges_per_partition[p];
+      checksum += edge_digest(e);
+    }
+    total += batch.size();
+  }
+  for (PartitionOut& out : outputs) out.writer->flush();
+
+  FB_CHECK_MSG(total == meta.num_edges,
+               "partitioner read " << total << " edges of " << meta.name
+                                   << ", sidecar says " << meta.num_edges);
+  FB_CHECK_MSG(checksum == meta.checksum,
+               "edge file of " << meta.name
+                               << " fails its checksum during partitioning");
+  FB_LOG_DEBUG << "partitioned " << meta.name << " into " << num_partitions
+               << " ranges (" << total << " edges)";
+  return pg;
+}
+
+std::vector<std::uint32_t> compute_out_degrees(io::Device& device,
+                                               const GraphMeta& meta) {
+  FB_CHECK_EQ(meta.record_size, sizeof(Edge));
+  std::vector<std::uint32_t> degrees(meta.num_vertices, 0);
+  auto input = device.open(meta.edge_file());
+  io::PrefetchRecordReader<Edge> reader(*input, 1 << 20);
+  for (auto batch = reader.next_batch(); !batch.empty();
+       batch = reader.next_batch()) {
+    for (const Edge& e : batch) ++degrees[e.src];
+  }
+  return degrees;
+}
+
+DegreeStats compute_out_degree_stats(io::Device& device,
+                                     const GraphMeta& meta) {
+  const std::vector<std::uint32_t> degrees = compute_out_degrees(device, meta);
+  DegreeStats stats;
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    if (degrees[v] == 0) continue;
+    ++stats.vertices_with_edges;
+    if (degrees[v] > stats.max_degree) {
+      stats.max_degree = degrees[v];
+      stats.max_degree_vertex = v;
+    }
+  }
+  stats.mean_degree =
+      meta.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(meta.num_edges) /
+                static_cast<double>(meta.num_vertices);
+  return stats;
+}
+
+}  // namespace fbfs::graph

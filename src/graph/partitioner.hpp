@@ -1,0 +1,79 @@
+// Range partitioner: fans one edge file out to P per-partition edge
+// files in a single streaming pass, plus degree statistics over the
+// same scan.
+//
+// Partition p owns the contiguous vertex range [begin(p), end(p)); an
+// edge belongs to the partition that owns its *source* (scatter streams
+// a partition's out-edges — X-Stream's layout). The pass reads the
+// source file through the prefetching reader (compute the fan-out while
+// the next buffer is in flight) and stages each partition's edges in a
+// private write buffer so the device sees few, large appends per
+// partition file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "storage/device.hpp"
+
+namespace fbfs::graph {
+
+/// Contiguous, balanced vertex ranges: the first (num_vertices mod P)
+/// partitions hold one extra vertex.
+class PartitionLayout {
+ public:
+  PartitionLayout() = default;
+  PartitionLayout(std::uint64_t num_vertices, std::uint32_t num_partitions);
+
+  std::uint64_t num_vertices() const { return num_vertices_; }
+  std::uint32_t num_partitions() const { return num_partitions_; }
+
+  VertexId begin(std::uint32_t p) const;
+  VertexId end(std::uint32_t p) const { return begin(p + 1); }
+  std::uint64_t size(std::uint32_t p) const { return end(p) - begin(p); }
+
+  /// The partition owning vertex `v` (O(1) arithmetic, no table).
+  std::uint32_t owner(VertexId v) const;
+
+ private:
+  std::uint64_t num_vertices_ = 0;
+  std::uint32_t num_partitions_ = 0;
+  std::uint64_t base_ = 0;   // vertices per partition, rounded down
+  std::uint64_t extra_ = 0;  // partitions holding base_ + 1
+};
+
+struct PartitionedGraph {
+  GraphMeta meta;
+  PartitionLayout layout;
+  std::vector<std::uint64_t> edges_per_partition;
+
+  /// On-device name of partition p's edge file.
+  std::string partition_file(std::uint32_t p) const;
+};
+
+/// One streaming pass: `meta.edge_file()` -> P partition files on the
+/// same device, verifying the sidecar checksum en route. `buffer_bytes`
+/// is split across the input reader and the P per-partition writers.
+PartitionedGraph partition_edge_list(io::Device& device,
+                                     const GraphMeta& meta,
+                                     std::uint32_t num_partitions,
+                                     std::size_t buffer_bytes = 4 << 20);
+
+struct DegreeStats {
+  std::uint64_t max_degree = 0;
+  VertexId max_degree_vertex = 0;
+  double mean_degree = 0.0;  // over all vertices
+  std::uint64_t vertices_with_edges = 0;
+};
+
+/// Out-degree of every vertex, from one read-ahead scan of the edge
+/// file.
+std::vector<std::uint32_t> compute_out_degrees(io::Device& device,
+                                               const GraphMeta& meta);
+
+DegreeStats compute_out_degree_stats(io::Device& device,
+                                     const GraphMeta& meta);
+
+}  // namespace fbfs::graph

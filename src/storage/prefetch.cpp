@@ -1,0 +1,85 @@
+#include "storage/prefetch.hpp"
+
+#include <cstring>
+
+namespace fbfs::io {
+
+PrefetchReader::PrefetchReader(File& file, std::size_t buffer_bytes,
+                               std::uint64_t offset, std::size_t num_buffers)
+    : file_(&file),
+      start_offset_(offset),
+      slots_(num_buffers < 2 ? 2 : num_buffers) {
+  for (Slot& slot : slots_) {
+    slot.data.resize(buffer_bytes == 0 ? 1 : buffer_bytes);
+  }
+  fetcher_ = std::thread([this] { fetch_loop(); });
+}
+
+PrefetchReader::~PrefetchReader() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  slot_freed_.notify_all();
+  fetcher_.join();
+}
+
+void PrefetchReader::fetch_loop() {
+  std::uint64_t offset = start_offset_;
+  std::size_t index = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      slot_freed_.wait(lock, [&] { return stop_ || !slots_[index].full; });
+      if (stop_) return;
+    }
+    Slot& slot = slots_[index];
+    // The transfer (and its modelled device delay) runs outside the
+    // lock: this is the overlap the reader exists for.
+    const std::size_t got =
+        file_->read_at(offset, slot.data.data(), slot.data.size());
+    offset += got;
+    const bool eof = got < slot.data.size();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot.size = got;
+      slot.full = got > 0;
+      if (eof) done_ = true;
+    }
+    slot_filled_.notify_one();
+    if (eof) return;  // EOF snapshot: equivalence holds for static files
+    index = (index + 1) % slots_.size();
+  }
+}
+
+std::size_t PrefetchReader::read(void* dst, std::size_t bytes) {
+  auto* out = static_cast<std::byte*>(dst);
+  std::size_t total = 0;
+  while (total < bytes) {
+    Slot& slot = slots_[head_];
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      slot_filled_.wait(lock, [&] { return slot.full || done_; });
+      if (!slot.full) break;  // drained past EOF
+    }
+    const std::size_t have = slot.size - pos_;
+    const std::size_t want = bytes - total;
+    const std::size_t take = want < have ? want : have;
+    std::memcpy(out + total, slot.data.data() + pos_, take);
+    pos_ += take;
+    total += take;
+    if (pos_ == slot.size) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot.full = false;
+      }
+      slot_freed_.notify_one();
+      head_ = (head_ + 1) % slots_.size();
+      pos_ = 0;
+    }
+  }
+  consumed_ += total;
+  return total;
+}
+
+}  // namespace fbfs::io

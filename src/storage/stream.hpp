@@ -44,6 +44,17 @@ class StreamWriter {
 
   void append_raw(const void* src, std::size_t bytes) {
     const auto* in = static_cast<const std::byte*>(src);
+    // Writes at least one buffer large bypass staging entirely: flush the
+    // buffered prefix, then hand the payload to the device as one
+    // transfer instead of memcpy-ing it through the buffer a piece at a
+    // time. Byte stream and ordering are unchanged; only the copy and
+    // the operation count shrink.
+    if (bytes >= buffer_.size()) {
+      flush();
+      file_->append(in, bytes);
+      logical_bytes_ += bytes;
+      return;
+    }
     while (bytes > 0) {
       const std::size_t room = buffer_.size() - fill_;
       const std::size_t take = bytes < room ? bytes : room;
@@ -144,14 +155,18 @@ class RecordWriter {
   StreamWriter bytes_;
 };
 
-/// Typed sequential reader; the file length must be a whole number of
-/// records (checked at EOF).
-template <typename T>
-class RecordReader {
+/// Typed sequential reader over any byte stream with the StreamReader
+/// interface — `read(void*, size_t)` (short only at end of stream) and a
+/// `(File&, std::size_t, std::uint64_t)` constructor. The file length
+/// past the start offset must be a whole number of records: a truncated
+/// trailing record is a CHECK failure at EOF, never silently dropped.
+template <typename T, typename ByteStream>
+class BasicRecordReader {
  public:
   static_assert(std::is_trivially_copyable_v<T>);
 
-  RecordReader(File& file, std::size_t buffer_bytes, std::uint64_t offset = 0)
+  BasicRecordReader(File& file, std::size_t buffer_bytes,
+                    std::uint64_t offset = 0)
       : bytes_(file, buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes,
                offset),
         batch_((buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes) /
@@ -171,30 +186,41 @@ class RecordReader {
   }
 
   /// A view of up to one buffer of records; empty at end of stream. The
-  /// span is valid until the next call.
+  /// span is valid until the next call. Records already delivered by
+  /// next() are not repeated: a partially-consumed buffer yields its
+  /// remainder first.
   std::span<const T> next_batch() {
-    load();
+    if (cursor_ == loaded_) load();
+    const std::span<const T> out(batch_.data() + cursor_, loaded_ - cursor_);
     cursor_ = loaded_;
-    return std::span<const T>(batch_.data(), loaded_);
+    return out;
   }
 
  private:
   void load() {
     const std::size_t got =
         bytes_.read(batch_.data(), batch_.size() * sizeof(T));
+    // The byte stream returns short only at EOF, so a non-multiple here
+    // is a partial trailing record: surface the data loss instead of
+    // rounding it away.
     FB_CHECK_MSG(got % sizeof(T) == 0,
-                 "record stream ends mid-record: " << got << " bytes after "
-                                                   << records_delivered_);
+                 "record stream ends mid-record: "
+                     << got % sizeof(T) << " stray tail bytes after "
+                     << records_delivered_ + got / sizeof(T)
+                     << " whole records of size " << sizeof(T));
     loaded_ = got / sizeof(T);
     cursor_ = 0;
     records_delivered_ += loaded_;
   }
 
-  StreamReader bytes_;
+  ByteStream bytes_;
   std::vector<T> batch_;
   std::size_t cursor_ = 0;
   std::size_t loaded_ = 0;
   std::uint64_t records_delivered_ = 0;
 };
+
+template <typename T>
+using RecordReader = BasicRecordReader<T, StreamReader>;
 
 }  // namespace fbfs::io

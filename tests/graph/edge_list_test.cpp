@@ -1,0 +1,112 @@
+// Edge-list files and their .meta sidecar: roundtrip, checksum, and the
+// size cross-checks that keep a stale sidecar from silently lying.
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "storage/stream.hpp"
+
+namespace fbfs::graph {
+namespace {
+
+io::Device make_device(const TempDir& dir) {
+  return io::Device(dir.str(), io::DeviceModel::unthrottled());
+}
+
+TEST(EdgeList, WriteGeneratedRoundTripsThroughTheSidecar) {
+  TempDir dir("edge_list");
+  io::Device dev = make_device(dir);
+
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {3, 3}, {0, 2}};
+  const GraphMeta written = write_generated(
+      dev, "tri", /*num_vertices=*/4, /*seed=*/42, /*undirected=*/false,
+      [&](const EdgeSink& sink) {
+        for (const Edge& e : edges) sink(e);
+      });
+  EXPECT_EQ(written.num_vertices, 4u);
+  EXPECT_EQ(written.num_edges, edges.size());
+  EXPECT_EQ(written.record_size, sizeof(Edge));
+  EXPECT_EQ(written.seed, 42u);
+  EXPECT_FALSE(written.undirected);
+  EXPECT_EQ(dev.file_size("tri.edges"), edges.size() * sizeof(Edge));
+
+  const GraphMeta loaded = load_meta(dev, "tri");
+  EXPECT_EQ(loaded.name, written.name);
+  EXPECT_EQ(loaded.num_vertices, written.num_vertices);
+  EXPECT_EQ(loaded.num_edges, written.num_edges);
+  EXPECT_EQ(loaded.record_size, written.record_size);
+  EXPECT_EQ(loaded.seed, written.seed);
+  EXPECT_EQ(loaded.undirected, written.undirected);
+  EXPECT_EQ(loaded.checksum, written.checksum);
+
+  EXPECT_EQ(read_all_edges(dev, loaded), edges);
+}
+
+TEST(EdgeList, ChecksumIsOrderIndependent) {
+  TempDir dir("edge_list");
+  io::Device dev = make_device(dir);
+  const std::vector<Edge> fwd = {{0, 1}, {1, 2}, {2, 3}};
+  const std::vector<Edge> rev = {{2, 3}, {0, 1}, {1, 2}};
+  const auto emit = [](const std::vector<Edge>& edges) {
+    return [&edges](const EdgeSink& sink) {
+      for (const Edge& e : edges) sink(e);
+    };
+  };
+  const GraphMeta a = write_generated(dev, "fwd", 4, 1, false, emit(fwd));
+  const GraphMeta b = write_generated(dev, "rev", 4, 1, false, emit(rev));
+  EXPECT_EQ(a.checksum, b.checksum);
+
+  const GraphMeta c = write_generated(dev, "other", 4, 1, false,
+                                      emit({{0, 1}, {1, 2}, {3, 2}}));
+  EXPECT_NE(a.checksum, c.checksum);
+}
+
+TEST(EdgeListDeath, SidecarCatchesAnEdgeFileOfTheWrongSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("edge_list");
+  io::Device dev = make_device(dir);
+  write_generated(dev, "g", 4, 1, false, [](const EdgeSink& sink) {
+    sink({0, 1});
+    sink({1, 2});
+  });
+  {
+    auto f = dev.open("g.edges");  // append a whole stray record
+    const Edge stray{3, 0};
+    f->append(&stray, sizeof(stray));
+  }
+  EXPECT_DEATH((void)load_meta(dev, "g"), "");
+}
+
+TEST(EdgeListDeath, ReadAllEdgesCatchesCorruptRecords) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("edge_list");
+  io::Device dev = make_device(dir);
+  const GraphMeta meta =
+      write_generated(dev, "g", 4, 1, false, [](const EdgeSink& sink) {
+        sink({0, 1});
+        sink({1, 2});
+      });
+  {
+    auto f = dev.open("g.edges");  // flip one destination in place
+    const Edge swapped{0, 3};
+    f->write_at(0, &swapped, sizeof(swapped));
+  }
+  EXPECT_DEATH((void)read_all_edges(dev, meta), "");
+}
+
+TEST(EdgeListDeath, GeneratorsMayNotEmitOutOfRangeVertices) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("edge_list");
+  io::Device dev = make_device(dir);
+  EXPECT_DEATH((void)write_generated(dev, "bad", 2, 1, false,
+                                     [](const EdgeSink& sink) {
+                                       sink({0, 2});  // dst == num_vertices
+                                     }),
+               "");
+}
+
+}  // namespace
+}  // namespace fbfs::graph

@@ -1,0 +1,152 @@
+// Generator contracts: exact edge counts, in-range endpoints, seed
+// determinism, and — the pipeline's backbone — byte-identical output
+// from the serial path and the parallel builder at every thread count
+// and shard placement.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/temp_dir.hpp"
+
+namespace fbfs::graph {
+namespace {
+
+io::Device make_device(const TempDir& dir) {
+  return io::Device(dir.str(), io::DeviceModel::unthrottled());
+}
+
+std::vector<Edge> collect(const ChunkedEdgeSource& source) {
+  std::vector<Edge> edges;
+  edges.reserve(source.num_edges());
+  source.generate([&](const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+void expect_counts_and_bounds(const ChunkedEdgeSource& source) {
+  const std::vector<Edge> edges = collect(source);
+  ASSERT_EQ(edges.size(), source.num_edges());
+  for (const Edge& e : edges) {
+    ASSERT_LT(e.src, source.num_vertices());
+    ASSERT_LT(e.dst, source.num_vertices());
+  }
+  // Same seed, same stream.
+  EXPECT_EQ(collect(source), edges);
+}
+
+TEST(Generators, EveryGeneratorHitsItsExactCountInBounds) {
+  expect_counts_and_bounds(RmatSource({.scale = 10, .edge_factor = 8,
+                                       .seed = 7}));
+  expect_counts_and_bounds(ErdosRenyiSource(
+      {.num_vertices = 5'000, .num_edges = 40'000, .seed = 7}));
+  expect_counts_and_bounds(Grid2dSource({.width = 37, .height = 11}));
+  expect_counts_and_bounds(TwitterLikeSource({.num_vertices = 4'096,
+                                              .num_edges = 60'000,
+                                              .seed = 7}));
+  expect_counts_and_bounds(FriendsterLikeSource(
+      {.num_vertices = 4'096, .num_undirected_edges = 30'000, .seed = 7}));
+}
+
+TEST(Generators, DifferentSeedsGiveDifferentStreams) {
+  const auto a = collect(ErdosRenyiSource(
+      {.num_vertices = 1'000, .num_edges = 5'000, .seed = 1}));
+  const auto b = collect(ErdosRenyiSource(
+      {.num_vertices = 1'000, .num_edges = 5'000, .seed = 2}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Generators, GridHasEveryLatticeEdgeInBothDirections) {
+  const Grid2dParams params{.width = 5, .height = 4};
+  const Grid2dSource source(params);
+  // 2 * ((W-1)*H + W*(H-1)) directed edges.
+  EXPECT_EQ(source.num_edges(), 2u * ((5 - 1) * 4 + 5 * (4 - 1)));
+  const std::vector<Edge> edges = collect(source);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : edges) {
+    const auto dx = e.src % params.width > e.dst % params.width
+                        ? e.src % params.width - e.dst % params.width
+                        : e.dst % params.width - e.src % params.width;
+    const auto dy = e.src / params.width > e.dst / params.width
+                        ? e.src / params.width - e.dst / params.width
+                        : e.dst / params.width - e.src / params.width;
+    EXPECT_EQ(dx + dy, 1u) << e.src << "->" << e.dst;  // lattice neighbours
+    seen.insert({e.src, e.dst});
+  }
+  EXPECT_EQ(seen.size(), edges.size());  // no duplicates
+  for (const Edge& e : edges) {
+    EXPECT_TRUE(seen.count({e.dst, e.src}));  // reciprocal present
+  }
+}
+
+TEST(Generators, FriendsterEmitsEachUndirectedEdgeAsAnAdjacentPair) {
+  const FriendsterLikeSource source(
+      {.num_vertices = 2'048, .num_undirected_edges = 10'000, .seed = 3});
+  ASSERT_TRUE(source.undirected());
+  const std::vector<Edge> edges = collect(source);
+  ASSERT_EQ(edges.size() % 2, 0u);
+  for (std::size_t i = 0; i < edges.size(); i += 2) {
+    EXPECT_EQ(edges[i].src, edges[i + 1].dst);
+    EXPECT_EQ(edges[i].dst, edges[i + 1].src);
+  }
+}
+
+TEST(ParallelBuild, EveryThreadCountMatchesTheSerialFileByteForByte) {
+  TempDir dir("parallel");
+  io::Device dev = make_device(dir);
+  TempDir shard_dir_a("shard_a");
+  TempDir shard_dir_b("shard_b");
+  io::Device shard_a = make_device(shard_dir_a);
+  io::Device shard_b = make_device(shard_dir_b);
+
+  // > kChunkTargetEdges several times over, so the chunking is real.
+  const ErdosRenyiSource source(
+      {.num_vertices = 50'000, .num_edges = 300'000, .seed = 11});
+  const GraphMeta serial = write_generated(
+      dev, "serial", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const EdgeSink& sink) { source.generate(sink); });
+  const std::vector<Edge> expect = read_all_edges(dev, serial);
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ParallelBuildOptions options;
+    options.threads = threads;
+    if (threads == 4) options.shard_devices = {&shard_a, &shard_b};
+    const std::string name = "par" + std::to_string(threads);
+    const ParallelBuildReport report =
+        build_edge_list_parallel(dev, name, source, options);
+    EXPECT_GT(report.num_chunks, 1u);
+    EXPECT_EQ(report.meta.checksum, serial.checksum);
+    EXPECT_EQ(report.meta.num_edges, serial.num_edges);
+    EXPECT_EQ(read_all_edges(dev, report.meta), expect) << name;
+    // Shards are cleaned up after the merge.
+    for (const std::string& file : dev.list_files()) {
+      EXPECT_EQ(file.find(".gshard"), std::string::npos) << file;
+    }
+  }
+}
+
+TEST(ParallelBuild, SocialSourceWithMixedChunkKindsStaysDeterministic) {
+  TempDir dir("parallel");
+  io::Device dev = make_device(dir);
+  // Twitter-like has two chunk kinds (power-law main chunks + fringe
+  // chain chunks); the parallel path must interleave them exactly as
+  // the serial stream does.
+  const TwitterLikeSource source(
+      {.num_vertices = 8'192, .num_edges = 150'000, .seed = 5});
+  const GraphMeta serial = write_generated(
+      dev, "serial", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const EdgeSink& sink) { source.generate(sink); });
+
+  ParallelBuildOptions options;
+  options.threads = 3;
+  const ParallelBuildReport report =
+      build_edge_list_parallel(dev, "par", source, options);
+  EXPECT_EQ(report.meta.checksum, serial.checksum);
+  EXPECT_EQ(read_all_edges(dev, report.meta), read_all_edges(dev, serial));
+}
+
+}  // namespace
+}  // namespace fbfs::graph

@@ -1,0 +1,123 @@
+// Range-partitioner properties: the layout tiles the vertex space
+// exactly, every edge lands in exactly the partition owning its source,
+// and the concatenation of the partition files is the input as a
+// multiset (via the order-independent sidecar checksum).
+#include "graph/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "graph/generators.hpp"
+#include "storage/stream.hpp"
+
+namespace fbfs::graph {
+namespace {
+
+io::Device make_device(const TempDir& dir) {
+  return io::Device(dir.str(), io::DeviceModel::unthrottled());
+}
+
+TEST(PartitionLayout, TilesTheVertexSpaceForAwkwardShapes) {
+  for (const std::uint64_t v : {1ull, 2ull, 7ull, 100ull, 1017ull}) {
+    for (const std::uint32_t p : {1u, 2u, 3u, 7u, 16u}) {
+      if (p > v) continue;
+      const PartitionLayout layout(v, p);
+      EXPECT_EQ(layout.begin(0), 0u);
+      EXPECT_EQ(layout.end(p - 1), v);
+      std::uint64_t covered = 0;
+      for (std::uint32_t i = 0; i < p; ++i) {
+        ASSERT_EQ(layout.begin(i), covered) << v << "/" << p;
+        ASSERT_GE(layout.size(i), v / p);       // balanced:
+        ASSERT_LE(layout.size(i), v / p + 1);   // sizes differ by <= 1
+        covered += layout.size(i);
+      }
+      ASSERT_EQ(covered, v);
+      for (VertexId vertex = 0; vertex < v; ++vertex) {
+        const std::uint32_t owner = layout.owner(vertex);
+        ASSERT_LT(owner, p);
+        ASSERT_GE(vertex, layout.begin(owner));
+        ASSERT_LT(vertex, layout.end(owner));
+      }
+    }
+  }
+}
+
+TEST(Partitioner, EveryEdgeLandsInExactlyItsOwnersFile) {
+  TempDir dir("partition");
+  io::Device dev = make_device(dir);
+  const ErdosRenyiSource source(
+      {.num_vertices = 10'000, .num_edges = 80'000, .seed = 9});
+  const GraphMeta meta = write_generated(
+      dev, "er", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const EdgeSink& sink) { source.generate(sink); });
+
+  const std::uint32_t P = 7;
+  const PartitionedGraph pg = partition_edge_list(dev, meta, P);
+
+  std::uint64_t total = 0;
+  std::uint64_t checksum = 0;
+  for (std::uint32_t p = 0; p < P; ++p) {
+    auto f = dev.open(pg.partition_file(p));
+    ASSERT_EQ(f->size(), pg.edges_per_partition[p] * sizeof(Edge));
+    io::RecordReader<Edge> reader(*f, 1 << 16);
+    Edge e;
+    std::uint64_t count = 0;
+    while (reader.next(e)) {
+      ASSERT_GE(e.src, pg.layout.begin(p));  // ownership: src in range
+      ASSERT_LT(e.src, pg.layout.end(p));
+      checksum += edge_digest(e);
+      ++count;
+    }
+    ASSERT_EQ(count, pg.edges_per_partition[p]);
+    total += count;
+  }
+  // Union of the partitions == the input, as a multiset.
+  EXPECT_EQ(total, meta.num_edges);
+  EXPECT_EQ(checksum, meta.checksum);
+}
+
+TEST(Partitioner, SinglePartitionReproducesTheInputFile) {
+  TempDir dir("partition");
+  io::Device dev = make_device(dir);
+  const GraphMeta meta = write_generated(
+      dev, "tiny", 4, 1, false, [](const EdgeSink& sink) {
+        sink({0, 1});
+        sink({3, 2});
+        sink({1, 1});
+      });
+  const PartitionedGraph pg = partition_edge_list(dev, meta, 1);
+  EXPECT_EQ(pg.edges_per_partition[0], meta.num_edges);
+  auto f = dev.open(pg.partition_file(0));
+  io::RecordReader<Edge> reader(*f, 64);
+  std::vector<Edge> back;
+  Edge e;
+  while (reader.next(e)) back.push_back(e);
+  EXPECT_EQ(back, (std::vector<Edge>{{0, 1}, {3, 2}, {1, 1}}));
+}
+
+TEST(Partitioner, DegreeStatsMatchAHandComputedGraph)  {
+  TempDir dir("partition");
+  io::Device dev = make_device(dir);
+  // Out-degrees: v0 -> 3, v2 -> 1, v1/v3/v4 -> 0.
+  const GraphMeta meta = write_generated(
+      dev, "hand", 5, 1, false, [](const EdgeSink& sink) {
+        sink({0, 1});
+        sink({0, 2});
+        sink({0, 0});
+        sink({2, 4});
+      });
+
+  const std::vector<std::uint32_t> degrees = compute_out_degrees(dev, meta);
+  EXPECT_EQ(degrees, (std::vector<std::uint32_t>{3, 0, 1, 0, 0}));
+
+  const DegreeStats stats = compute_out_degree_stats(dev, meta);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_EQ(stats.max_degree_vertex, 0u);
+  EXPECT_EQ(stats.vertices_with_edges, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 4.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace fbfs::graph

@@ -1,0 +1,199 @@
+// PrefetchReader must be indistinguishable from StreamReader to its
+// consumer: same bytes, same short-read-at-EOF behaviour, same
+// position() — across buffer sizes, start offsets, slot counts, and
+// device models. The randomized sweeps here are the contract.
+#include "storage/prefetch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/temp_dir.hpp"
+#include "storage/stream.hpp"
+
+namespace fbfs::io {
+namespace {
+
+struct EdgeRec {
+  std::uint32_t src;
+  std::uint32_t dst;
+  bool operator==(const EdgeRec&) const = default;
+};
+
+DeviceModel quiet(DeviceModel model) {
+  model.time_scale = 0.0;  // accounting only, no sleeping
+  return model;
+}
+
+std::vector<std::byte> random_payload(std::size_t n, std::uint64_t seed) {
+  fbfs::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_below(256));
+  return out;
+}
+
+TEST(Prefetch, MatchesStreamReaderAcrossBuffersOffsetsAndModels) {
+  const auto payload = random_payload(50'021, 1);  // prime, never aligned
+
+  const std::vector<DeviceModel> models = {
+      DeviceModel::unthrottled(), quiet(DeviceModel::hdd()),
+      quiet(DeviceModel::ssd())};
+  for (const DeviceModel& model : models) {
+    TempDir dir("prefetch");
+    Device dev(dir.str(), model);
+    auto f = dev.open("blob", true);
+    f->append(payload.data(), payload.size());
+
+    fbfs::Rng rng(7);
+    for (const std::size_t buf : {1ul, 7ul, 4096ul, 1ul << 16}) {
+      for (const std::size_t num_buffers : {2ul, 3ul}) {
+        for (const std::uint64_t offset :
+             {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{4096},
+              payload.size() - 3, std::uint64_t{payload.size()}}) {
+          StreamReader plain(*f, buf, offset);
+          PrefetchReader ahead(*f, buf, offset, num_buffers);
+          EXPECT_EQ(ahead.position(), offset);
+
+          // Drain both with the same ragged request sizes; they must
+          // agree byte for byte, request for request.
+          std::vector<std::byte> a(8192), b(8192);
+          for (;;) {
+            const std::size_t want = 1 + rng.next_below(a.size());
+            const std::size_t got_plain = plain.read(a.data(), want);
+            const std::size_t got_ahead = ahead.read(b.data(), want);
+            ASSERT_EQ(got_ahead, got_plain)
+                << model.name << " buf=" << buf << " slots=" << num_buffers
+                << " offset=" << offset;
+            ASSERT_EQ(ahead.position(), plain.position());
+            ASSERT_EQ(std::memcmp(a.data(), b.data(), got_plain), 0);
+            if (got_plain == 0) break;
+          }
+          EXPECT_EQ(ahead.position(), payload.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(Prefetch, ChargesExactlyTheFileBytesOnAFullScan) {
+  TempDir dir("prefetch");
+  Device dev(dir.str(), DeviceModel::unthrottled());
+  const auto payload = random_payload(10'000, 2);
+  auto f = dev.open("blob", true);
+  f->append(payload.data(), payload.size());
+  const std::uint64_t written = dev.stats().bytes_read();
+  EXPECT_EQ(written, 0u);
+
+  {
+    PrefetchReader reader(*f, 1024);
+    std::vector<std::byte> back(payload.size());
+    std::size_t got = 0;
+    while (got < back.size()) {
+      got += reader.read(back.data() + got, 3000);
+    }
+    EXPECT_EQ(reader.read(back.data(), 1), 0u);
+    EXPECT_EQ(back, payload);
+  }
+  // Read-ahead never re-reads and EOF probes transfer nothing, so the
+  // device sees exactly the file once.
+  EXPECT_EQ(dev.stats().bytes_read(), payload.size());
+}
+
+TEST(Prefetch, ReadAheadIsBoundedBySlotCount) {
+  TempDir dir("prefetch");
+  Device dev(dir.str(), DeviceModel::unthrottled());
+  const auto payload = random_payload(1 << 16, 3);
+  auto f = dev.open("blob", true);
+  f->append(payload.data(), payload.size());
+
+  PrefetchReader reader(*f, 1024, 0, 2);
+  std::byte tiny[100];
+  ASSERT_EQ(reader.read(tiny, sizeof(tiny)), sizeof(tiny));
+  // The fetcher may hold every slot full, no more: with the first slot
+  // still partially consumed it can stage at most num_buffers buffers.
+  // Spin briefly to let it catch up to that bound, then check it.
+  for (int i = 0; i < 1000 && dev.stats().bytes_read() < 2048; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_LE(dev.stats().bytes_read(), 2u * 1024u);
+}
+
+TEST(Prefetch, DestructorStopsAPartiallyDrainedReader) {
+  TempDir dir("prefetch");
+  Device dev(dir.str(), DeviceModel::unthrottled());
+  const auto payload = random_payload(1 << 20, 4);
+  auto f = dev.open("blob", true);
+  f->append(payload.data(), payload.size());
+
+  for (int i = 0; i < 50; ++i) {
+    PrefetchReader reader(*f, 4096, 0, 3);
+    std::byte buf[256];
+    if (i % 2 == 0) {
+      ASSERT_EQ(reader.read(buf, sizeof(buf)), sizeof(buf));
+    }
+    // Destructor races the fetcher in every iteration; TSan guards it.
+  }
+}
+
+TEST(PrefetchRecord, MatchesRecordReaderOnTypedStreams) {
+  TempDir dir("prefetch");
+  Device dev(dir.str(), quiet(DeviceModel::hdd()));
+  fbfs::Rng rng(5);
+  std::vector<EdgeRec> edges(10'000);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    edges[i] = {i, static_cast<std::uint32_t>(rng.next_below(1 << 20))};
+  }
+  auto f = dev.open("edges", true);
+  RecordWriter<EdgeRec> writer(*f, 1 << 12);
+  writer.append_batch(edges);
+  writer.flush();
+
+  for (const std::size_t buf : {sizeof(EdgeRec), 1000ul, 1ul << 16}) {
+    for (const std::uint64_t offset :
+         {std::uint64_t{0}, 9'000 * sizeof(EdgeRec)}) {
+      RecordReader<EdgeRec> plain(*f, buf, offset);
+      PrefetchRecordReader<EdgeRec> ahead(*f, buf, offset);
+      EdgeRec a, b;
+      // Alternate single records and batches on the prefetch side; the
+      // union must still be the plain reader's stream.
+      std::vector<EdgeRec> expect, got;
+      while (plain.next(a)) expect.push_back(a);
+      for (;;) {
+        bool advanced = false;
+        for (int i = 0; i < 3 && ahead.next(b); ++i) {
+          got.push_back(b);
+          advanced = true;
+        }
+        const auto batch = ahead.next_batch();
+        got.insert(got.end(), batch.begin(), batch.end());
+        if (!advanced && batch.empty()) break;
+      }
+      ASSERT_EQ(got, expect) << "buf=" << buf << " offset=" << offset;
+    }
+  }
+}
+
+TEST(PrefetchRecordDeath, TruncatedTrailingRecordIsAnError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("prefetch");
+  Device dev(dir.str(), DeviceModel::unthrottled());
+  auto f = dev.open("broken", true);
+  std::vector<EdgeRec> edges = {{1, 2}, {3, 4}};
+  f->append(edges.data(), edges.size() * sizeof(EdgeRec));
+  const std::byte junk[3] = {};
+  f->append(junk, sizeof(junk));  // stray tail: 3 bytes of a third record
+  EXPECT_DEATH(
+      {
+        PrefetchRecordReader<EdgeRec> reader(*f, 1024);
+        EdgeRec rec;
+        while (reader.next(rec)) {
+        }
+      },
+      "ends mid-record");
+}
+
+}  // namespace
+}  // namespace fbfs::io

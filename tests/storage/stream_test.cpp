@@ -67,6 +67,40 @@ TEST(Stream, RawBytesRoundTripAcrossMismatchedBuffers) {
   }
 }
 
+TEST(Stream, LargeAppendsBypassTheStagingBuffer) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  auto f = dev.open("blob", true);
+  StreamWriter writer(*f, 1024);
+
+  const auto payload = [] {
+    fbfs::Rng rng(3);
+    std::vector<std::byte> out(100 + 5000 + 500);
+    for (auto& b : out) b = static_cast<std::byte>(rng.next_below(256));
+    return out;
+  }();
+
+  writer.append_raw(payload.data(), 100);  // staged, no device op yet
+  EXPECT_EQ(dev.stats().write_ops(), 0u);
+  // One buffer-sized-or-larger write: staged prefix flushes, then the
+  // payload goes to the device whole — two ops, not ceil(5100/1024).
+  writer.append_raw(payload.data() + 100, 5000);
+  EXPECT_EQ(dev.stats().write_ops(), 2u);
+  EXPECT_EQ(dev.stats().bytes_written(), 5100u);
+  writer.append_raw(payload.data() + 5100, 500);  // staged again
+  EXPECT_EQ(dev.stats().write_ops(), 2u);
+  EXPECT_EQ(writer.bytes_appended(), payload.size());
+  writer.flush();
+  EXPECT_EQ(dev.stats().write_ops(), 3u);
+  EXPECT_EQ(dev.stats().bytes_written(), payload.size());
+
+  // The byte stream itself is unchanged by the bypass.
+  StreamReader reader(*f, 4096);
+  std::vector<std::byte> back(payload.size());
+  ASSERT_EQ(reader.read(back.data(), back.size()), back.size());
+  EXPECT_EQ(back, payload);
+}
+
 TEST(Stream, ReaderPositionTracksDeliveredBytes) {
   TempDir dir("stream");
   Device dev = make_device(dir);
@@ -128,6 +162,37 @@ TEST(RecordStream, RoundTripSingleAndBatch) {
     }
     ASSERT_EQ(back, edges) << "buf=" << buf;
   }
+}
+
+TEST(RecordStream, MixedNextAndBatchDeliverEveryRecordOnce) {
+  TempDir dir("stream");
+  Device dev = make_device(dir);
+  auto f = dev.open("edges", true);
+  std::vector<EdgeRec> edges;
+  for (std::uint32_t i = 0; i < 1000; ++i) edges.push_back({i, i * 2});
+  RecordWriter<EdgeRec> writer(*f, 512);
+  writer.append_batch(edges);
+  writer.flush();
+
+  // Interleave single reads with batch reads: next_batch() after a
+  // partially consumed buffer must yield the remainder, not reload over
+  // it (regression: records 5..N of each buffer used to vanish).
+  fbfs::Rng rng(4);
+  RecordReader<EdgeRec> reader(*f, 16 * sizeof(EdgeRec));
+  std::vector<EdgeRec> back;
+  EdgeRec rec;
+  for (;;) {
+    bool advanced = false;
+    const std::size_t singles = rng.next_below(20);
+    for (std::size_t i = 0; i < singles && reader.next(rec); ++i) {
+      back.push_back(rec);
+      advanced = true;
+    }
+    const auto batch = reader.next_batch();
+    back.insert(back.end(), batch.begin(), batch.end());
+    if (!advanced && batch.empty()) break;
+  }
+  ASSERT_EQ(back, edges);
 }
 
 TEST(RecordStream, ReaderCanStartAtAnAlignedOffset) {
