@@ -31,8 +31,7 @@
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"
 #include "graph/partitioner.hpp"
-#include "storage/prefetch.hpp"
-#include "storage/stream.hpp"
+#include "storage/reader_factory.hpp"
 
 namespace {
 
@@ -51,12 +50,12 @@ void copy_uncharged(io::Device& from, io::Device& to,
                     const std::string& name) {
   io::Device src(from.root_dir(), io::DeviceModel::unthrottled());
   io::Device dst(to.root_dir(), io::DeviceModel::unthrottled());
-  auto in = src.open(name);
   auto out = dst.open(name, /*truncate=*/true);
   std::vector<std::byte> buf(1 << 20);
-  io::StreamReader reader(*in, buf.size());
-  for (std::size_t got = reader.read(buf.data(), buf.size()); got > 0;
-       got = reader.read(buf.data(), buf.size())) {
+  auto reader =
+      io::open_stream_reader(src, name, io::ReaderOptions::plain(buf.size()));
+  for (std::size_t got = reader->read(buf.data(), buf.size()); got > 0;
+       got = reader->read(buf.data(), buf.size())) {
     out->append(buf.data(), got);
   }
 }
@@ -279,15 +278,17 @@ int main(int argc, char** argv) {
 
   sw.restart();
   for (int r = 0; r < repeats; ++r) {
-    io::RecordReader<Edge> reader(*scan_file, scan_buffer);
-    consume(reader);
+    auto reader = io::open_record_reader<Edge>(
+        *scan_file, io::ReaderOptions::plain(scan_buffer));
+    consume(*reader);
   }
   const double plain_s = sw.seconds() / repeats;
 
   sw.restart();
   for (int r = 0; r < repeats; ++r) {
-    io::PrefetchRecordReader<Edge> reader(*scan_file, scan_buffer);
-    consume(reader);
+    auto reader = io::open_record_reader<Edge>(
+        *scan_file, io::ReaderOptions::prefetch(scan_buffer));
+    consume(*reader);
   }
   const double prefetch_s = sw.seconds() / repeats;
 

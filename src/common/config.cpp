@@ -154,6 +154,82 @@ bool Config::get_bool_or(const std::string& key, bool fallback) const {
   return has(key) ? get_bool(key) : fallback;
 }
 
+namespace {
+
+std::string join(std::initializer_list<std::string_view> names) {
+  std::string out;
+  for (const std::string_view name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Config::get_enum(
+    const std::string& key,
+    std::initializer_list<std::string_view> allowed) const {
+  const std::string value = get_str(key);
+  for (const std::string_view name : allowed) {
+    if (value == name) return value;
+  }
+  FB_CHECK_MSG(false, "config key " << key << " has invalid value '" << value
+                                    << "'; valid values: " << join(allowed));
+  return value;
+}
+
+std::string Config::get_enum_or(std::string const& key,
+                                std::initializer_list<std::string_view> allowed,
+                                std::string_view fallback) const {
+  if (has(key)) return get_enum(key, allowed);
+  for (const std::string_view name : allowed) {
+    if (fallback == name) return std::string(fallback);
+  }
+  FB_CHECK_MSG(false, "fallback for config key "
+                          << key << " is invalid: '" << fallback
+                          << "'; valid values: " << join(allowed));
+  return std::string(fallback);
+}
+
+std::uint64_t Config::get_bytes(const std::string& key) const {
+  const std::string value = get_str(key);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long count = std::strtoull(value.c_str(), &end, 10);
+  const bool number_ok =
+      errno == 0 && end != value.c_str() && value[0] != '-';
+  std::string suffix(end == nullptr ? "" : end);
+  suffix = trim(suffix);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  std::uint64_t multiplier = 0;
+  if (suffix.empty() || suffix == "b") {
+    multiplier = 1;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    multiplier = 1024ull;
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    multiplier = 1024ull * 1024;
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    multiplier = 1024ull * 1024 * 1024;
+  }
+  FB_CHECK_MSG(number_ok && multiplier != 0,
+               "config key " << key << " is not a byte size: '" << value
+                             << "'; expected <unsigned integer> with an "
+                                "optional suffix B, K/KB/KiB, M/MB/MiB, "
+                                "G/GB/GiB (1024-based, case-insensitive)");
+  const std::uint64_t bytes = count * multiplier;
+  FB_CHECK_MSG(count == 0 || bytes / multiplier == count,
+               "config key " << key << " overflows a u64 byte size: '"
+                             << value << "'");
+  return bytes;
+}
+
+std::uint64_t Config::get_bytes_or(const std::string& key,
+                                   std::uint64_t fallback) const {
+  return has(key) ? get_bytes(key) : fallback;
+}
+
 void Config::set_str(const std::string& key, const std::string& value) {
   values_[key] = value;
 }

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fbfs {
@@ -43,6 +45,25 @@ class Config {
   double get_f64_or(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key) const;
   bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// Value restricted to a closed set of names (engine mode keys like
+  /// `io.reader = prefetch`). Aborts with a message listing the valid
+  /// values when the value (or, for get_enum_or, the fallback) is not
+  /// one of `allowed`.
+  std::string get_enum(const std::string& key,
+                       std::initializer_list<std::string_view> allowed) const;
+  std::string get_enum_or(const std::string& key,
+                          std::initializer_list<std::string_view> allowed,
+                          std::string_view fallback) const;
+
+  /// Byte size: an unsigned integer with an optional binary-multiple
+  /// suffix — B, K/KB/KiB, M/MB/MiB, G/GB/GiB, all 1024-based,
+  /// case-insensitive, optionally space-separated ("4M", "64 KiB",
+  /// "1048576"). Aborts with a message listing the valid suffixes on
+  /// anything else.
+  std::uint64_t get_bytes(const std::string& key) const;
+  std::uint64_t get_bytes_or(const std::string& key,
+                             std::uint64_t fallback) const;
 
   void set_str(const std::string& key, const std::string& value);
   void set_u64(const std::string& key, std::uint64_t value);

@@ -53,4 +53,12 @@ GraphMeta write_generated(
 /// count and checksum against the sidecar.
 std::vector<Edge> read_all_edges(io::Device& device, const GraphMeta& meta);
 
+/// Writes `out_name` holding every edge of `meta` in both directions
+/// (each (u,v) immediately followed by (v,u)), with its sidecar marked
+/// undirected — the conforming input for programs that require a
+/// symmetric graph (WCC). Self-loops and duplicate edges are kept;
+/// label propagation is insensitive to multiplicity.
+GraphMeta symmetrize_edge_list(io::Device& device, const GraphMeta& meta,
+                               const std::string& out_name);
+
 }  // namespace fbfs::graph

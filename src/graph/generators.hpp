@@ -129,6 +129,7 @@ class Grid2dSource final : public ChunkedEdgeSource {
   std::uint64_t num_vertices() const override;
   std::uint64_t num_edges() const override;
   std::uint64_t seed() const override { return 0; }
+  bool undirected() const override { return true; }  // both directions emitted
   std::uint64_t num_chunks() const override;
   void generate_chunk(std::uint64_t chunk,
                       const EdgeSink& sink) const override;

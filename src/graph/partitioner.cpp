@@ -3,7 +3,6 @@
 #include <memory>
 
 #include "common/log.hpp"
-#include "storage/prefetch.hpp"
 #include "storage/stream.hpp"
 
 namespace fbfs::graph {
@@ -38,11 +37,12 @@ std::string PartitionedGraph::partition_file(std::uint32_t p) const {
          ".part" + std::to_string(p);
 }
 
-PartitionedGraph partition_edge_list(io::Device& device,
+PartitionedGraph partition_edge_list(const io::StoragePlan& plan,
                                      const GraphMeta& meta,
                                      std::uint32_t num_partitions,
-                                     std::size_t buffer_bytes) {
+                                     const PartitionOptions& options) {
   FB_CHECK_EQ(meta.record_size, sizeof(Edge));
+  io::Device& device = plan.edges();
   PartitionedGraph pg;
   pg.meta = meta;
   pg.layout = PartitionLayout(meta.num_vertices, num_partitions);
@@ -51,11 +51,10 @@ PartitionedGraph partition_edge_list(io::Device& device,
   // Half the budget feeds the (double-buffered) input scan, the other
   // half is split into per-partition staging buffers.
   const std::size_t read_buffer =
-      std::max<std::size_t>(sizeof(Edge), buffer_bytes / 2);
+      std::max<std::size_t>(sizeof(Edge), options.buffer_bytes / 2);
   const std::size_t write_buffer = std::max<std::size_t>(
-      sizeof(Edge), buffer_bytes / 2 / num_partitions);
+      sizeof(Edge), options.buffer_bytes / 2 / num_partitions);
 
-  auto input = device.open(meta.edge_file());
   struct PartitionOut {
     std::unique_ptr<io::File> file;
     std::unique_ptr<io::RecordWriter<Edge>> writer;
@@ -68,11 +67,12 @@ PartitionedGraph partition_edge_list(io::Device& device,
                                                  write_buffer);
   }
 
-  io::PrefetchRecordReader<Edge> reader(*input, read_buffer);
+  auto reader = io::open_record_reader<Edge>(
+      device, meta.edge_file(), {options.reader, read_buffer, 0});
   std::uint64_t total = 0;
   std::uint64_t checksum = 0;
-  for (auto batch = reader.next_batch(); !batch.empty();
-       batch = reader.next_batch()) {
+  for (auto batch = reader->next_batch(); !batch.empty();
+       batch = reader->next_batch()) {
     for (const Edge& e : batch) {
       const std::uint32_t p = pg.layout.owner(e.src);
       outputs[p].writer->append(e);
@@ -98,10 +98,10 @@ std::vector<std::uint32_t> compute_out_degrees(io::Device& device,
                                                const GraphMeta& meta) {
   FB_CHECK_EQ(meta.record_size, sizeof(Edge));
   std::vector<std::uint32_t> degrees(meta.num_vertices, 0);
-  auto input = device.open(meta.edge_file());
-  io::PrefetchRecordReader<Edge> reader(*input, 1 << 20);
-  for (auto batch = reader.next_batch(); !batch.empty();
-       batch = reader.next_batch()) {
+  auto reader = io::open_record_reader<Edge>(
+      device, meta.edge_file(), io::ReaderOptions::prefetch(1 << 20));
+  for (auto batch = reader->next_batch(); !batch.empty();
+       batch = reader->next_batch()) {
     for (const Edge& e : batch) ++degrees[e.src];
   }
   return degrees;

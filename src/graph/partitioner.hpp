@@ -16,7 +16,8 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
-#include "storage/device.hpp"
+#include "storage/reader_factory.hpp"
+#include "storage/storage_plan.hpp"
 
 namespace fbfs::graph {
 
@@ -53,13 +54,28 @@ struct PartitionedGraph {
   std::string partition_file(std::uint32_t p) const;
 };
 
-/// One streaming pass: `meta.edge_file()` -> P partition files on the
-/// same device, verifying the sidecar checksum en route. `buffer_bytes`
-/// is split across the input reader and the P per-partition writers.
-PartitionedGraph partition_edge_list(io::Device& device,
+struct PartitionOptions {
+  /// Split across the input reader and the P per-partition writers.
+  std::size_t buffer_bytes = 4 << 20;
+  io::ReaderMode reader = io::ReaderMode::kPrefetch;
+};
+
+/// One streaming pass: `meta.edge_file()` -> P partition files, both on
+/// the plan's edges device, verifying the sidecar checksum en route.
+PartitionedGraph partition_edge_list(const io::StoragePlan& plan,
                                      const GraphMeta& meta,
                                      std::uint32_t num_partitions,
-                                     std::size_t buffer_bytes = 4 << 20);
+                                     const PartitionOptions& options = {});
+
+/// Single-device convenience wrapper.
+inline PartitionedGraph partition_edge_list(io::Device& device,
+                                            const GraphMeta& meta,
+                                            std::uint32_t num_partitions,
+                                            std::size_t buffer_bytes = 4
+                                                                       << 20) {
+  return partition_edge_list(io::StoragePlan::single(device), meta,
+                             num_partitions, {.buffer_bytes = buffer_bytes});
+}
 
 struct DegreeStats {
   std::uint64_t max_degree = 0;

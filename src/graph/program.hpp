@@ -1,0 +1,246 @@
+// GraphProgram: the algorithm/engine split.
+//
+// A graph computation is expressed once, as three pure functors over
+// typed POD records, and executed by any engine (inmem::run — the exact
+// in-memory reference — or xstream::run — the streaming-partition
+// scatter/gather engine). Per iteration every engine runs the same
+// synchronous phases:
+//
+//   scatter  for each edge (u,v) with u active (or every edge, when
+//            kScatterAllVertices): read u's State, optionally emit one
+//            Update addressed to v;
+//   gather   for each emitted Update: fold it into its target's State;
+//            a `true` return marks the target active next iteration;
+//   apply    (only when kNeedsApply) once per vertex per iteration,
+//            after all gathers — PageRank's rank-from-accumulator step.
+//
+// The run stops when an iteration emits no updates, activates no
+// vertex, or hits the engine's iteration cap.
+//
+// THE bit-identity rule: gather must be a commutative, associative,
+// exact fold (integer min/add, float min — never float accumulation).
+// Engines differ only in the ORDER they scatter edges and deliver
+// updates (partition files interleave sources; the shuffle reorders
+// updates), so an order-free gather is what makes every engine, at
+// every partition count, produce bit-identical states. PageRank
+// therefore accumulates contributions in 24.40 fixed point — integer
+// addition — instead of summing floats.
+//
+// Programs are small value objects; parameters (root, vertex count)
+// are constructor state, so one instance drives both the engine run and
+// the reference run of an equivalence test.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "graph/types.hpp"
+
+namespace fbfs::graph {
+
+template <typename P>
+concept GraphProgram = requires(const P p, const Edge e,
+                                typename P::State s,
+                                const typename P::State cs,
+                                typename P::Update u, bool active) {
+  requires std::is_trivially_copyable_v<typename P::State>;
+  requires std::is_trivially_copyable_v<typename P::Update>;
+  { std::as_const(u).dst } -> std::convertible_to<VertexId>;
+  { P::kName } -> std::convertible_to<const char*>;
+  { P::kScatterAllVertices } -> std::convertible_to<bool>;
+  { P::kNeedsApply } -> std::convertible_to<bool>;
+  { P::kRequiresUndirected } -> std::convertible_to<bool>;
+  { p.init(VertexId{}, std::uint32_t{}, s, active) } -> std::same_as<void>;
+  { p.scatter(e, cs, u) } -> std::same_as<bool>;
+  { p.gather(std::as_const(u), s) } -> std::same_as<bool>;
+  { p.apply(VertexId{}, s) } -> std::same_as<void>;
+  { p.output(VertexId{}, cs) };
+};
+
+/// Deterministic per-edge weight in [1, 2): SSSP needs weights, edge
+/// files store none, and both engines see the same (src, dst) pairs —
+/// so both derive the identical weight from the edge digest.
+inline float edge_weight(const Edge& e) {
+  return 1.0f + static_cast<float>(edge_digest(e) & 0xffff) / 65536.0f;
+}
+
+// --------------------------------------------------------------- BFS
+
+inline constexpr std::uint32_t kUnreachedLevel =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct BfsProgram {
+  static constexpr const char* kName = "bfs";
+  static constexpr bool kScatterAllVertices = false;
+  static constexpr bool kNeedsApply = false;
+  static constexpr bool kRequiresUndirected = false;
+
+  struct State {
+    std::uint32_t level = kUnreachedLevel;
+  };
+  struct Update {
+    VertexId dst = 0;
+    std::uint32_t level = 0;
+  };
+
+  VertexId root = 0;
+
+  void init(VertexId v, std::uint32_t /*out_degree*/, State& s,
+            bool& active) const {
+    s.level = v == root ? 0 : kUnreachedLevel;
+    active = v == root;
+  }
+  bool scatter(const Edge& e, const State& src, Update& out) const {
+    out = {e.dst, src.level + 1};
+    return true;
+  }
+  bool gather(const Update& u, State& dst) const {
+    if (u.level >= dst.level) return false;
+    dst.level = u.level;
+    return true;
+  }
+  void apply(VertexId, State&) const {}
+  std::uint32_t output(VertexId, const State& s) const { return s.level; }
+};
+static_assert(sizeof(BfsProgram::Update) == 8);
+
+// --------------------------------------------------------------- WCC
+
+/// Minimum-label propagation. Converges to weakly connected components
+/// only when every edge is present in both directions, hence
+/// kRequiresUndirected (engines CHECK the input's undirected flag;
+/// symmetrize_edge_list produces a conforming copy of any graph).
+struct WccProgram {
+  static constexpr const char* kName = "wcc";
+  static constexpr bool kScatterAllVertices = false;
+  static constexpr bool kNeedsApply = false;
+  static constexpr bool kRequiresUndirected = true;
+
+  struct State {
+    std::uint32_t label = 0;
+  };
+  struct Update {
+    VertexId dst = 0;
+    std::uint32_t label = 0;
+  };
+
+  void init(VertexId v, std::uint32_t /*out_degree*/, State& s,
+            bool& active) const {
+    s.label = v;
+    active = true;  // every vertex seeds its own label
+  }
+  bool scatter(const Edge& e, const State& src, Update& out) const {
+    out = {e.dst, src.label};
+    return true;
+  }
+  bool gather(const Update& u, State& dst) const {
+    if (u.label >= dst.label) return false;
+    dst.label = u.label;
+    return true;
+  }
+  void apply(VertexId, State&) const {}
+  std::uint32_t output(VertexId, const State& s) const { return s.label; }
+};
+
+// -------------------------------------------------------------- SSSP
+
+struct SsspProgram {
+  static constexpr const char* kName = "sssp";
+  static constexpr bool kScatterAllVertices = false;
+  static constexpr bool kNeedsApply = false;
+  static constexpr bool kRequiresUndirected = false;
+
+  struct State {
+    float dist = std::numeric_limits<float>::infinity();
+  };
+  struct Update {
+    VertexId dst = 0;
+    float dist = 0.0f;
+  };
+
+  VertexId root = 0;
+
+  void init(VertexId v, std::uint32_t /*out_degree*/, State& s,
+            bool& active) const {
+    s.dist = v == root ? 0.0f : std::numeric_limits<float>::infinity();
+    active = v == root;
+  }
+  bool scatter(const Edge& e, const State& src, Update& out) const {
+    out = {e.dst, src.dist + edge_weight(e)};
+    return true;
+  }
+  // Min over floats is exact, so the fold stays order-free even though
+  // the path sums are floating point.
+  bool gather(const Update& u, State& dst) const {
+    if (u.dist >= dst.dist) return false;
+    dst.dist = u.dist;
+    return true;
+  }
+  void apply(VertexId, State&) const {}
+  float output(VertexId, const State& s) const { return s.dist; }
+};
+
+// ---------------------------------------------------------- PageRank
+
+struct PageRankProgram {
+  static constexpr const char* kName = "pagerank";
+  /// Every vertex contributes every iteration; the engine's iteration
+  /// cap is the stopping rule (the paper's fixed-round comparisons).
+  static constexpr bool kScatterAllVertices = true;
+  static constexpr bool kNeedsApply = true;
+  static constexpr bool kRequiresUndirected = false;
+
+  /// 24.40 fixed point: contributions are <= 1, partial sums <= N < 2^24.
+  static constexpr double kFixedOne = static_cast<double>(1ull << 40);
+  static constexpr double kDamping = 0.85;
+
+  struct State {
+    std::uint64_t accum = 0;  // fixed-point sum of this round's inputs
+    float rank = 0.0f;
+    std::uint32_t out_degree = 0;
+  };
+  struct Update {
+    std::uint64_t contrib = 0;  // fixed-point rank / out_degree
+    VertexId dst = 0;
+    std::uint32_t pad = 0;  // keep the on-disk record fully initialised
+  };
+
+  std::uint64_t num_vertices = 1;
+
+  void init(VertexId /*v*/, std::uint32_t out_degree, State& s,
+            bool& active) const {
+    s = {0, static_cast<float>(1.0 / static_cast<double>(num_vertices)),
+         out_degree};
+    active = true;
+  }
+  bool scatter(const Edge& e, const State& src, Update& out) const {
+    out = {static_cast<std::uint64_t>(
+               std::llround(static_cast<double>(src.rank) /
+                            static_cast<double>(src.out_degree) * kFixedOne)),
+           e.dst, 0};
+    return true;
+  }
+  bool gather(const Update& u, State& dst) const {
+    dst.accum += u.contrib;  // integer add: exact and order-free
+    return true;
+  }
+  void apply(VertexId, State& s) const {
+    s.rank = static_cast<float>(
+        (1.0 - kDamping) / static_cast<double>(num_vertices) +
+        kDamping * (static_cast<double>(s.accum) / kFixedOne));
+    s.accum = 0;
+  }
+  float output(VertexId, const State& s) const { return s.rank; }
+};
+static_assert(sizeof(PageRankProgram::Update) == 16);
+
+static_assert(GraphProgram<BfsProgram>);
+static_assert(GraphProgram<WccProgram>);
+static_assert(GraphProgram<SsspProgram>);
+static_assert(GraphProgram<PageRankProgram>);
+
+}  // namespace fbfs::graph

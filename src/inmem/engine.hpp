@@ -1,0 +1,103 @@
+// The exact in-memory reference engine (ROADMAP item 1).
+//
+// Executes any GraphProgram over a Csr with the same synchronous
+// scatter -> gather -> apply rounds as the streaming engine, holding
+// every State and every Update in memory. It is the ground truth the
+// xstream engine is validated against: because programs keep gather an
+// order-free fold (program.hpp), both engines produce bit-identical
+// states even though they scatter edges in different orders.
+//
+// Round semantics (xstream::run mirrors these exactly — change both or
+// neither):
+//   * scatter reads the states frozen at the start of the round;
+//   * a round that emits no updates ends the run uncounted, unless the
+//     program scatters all vertices every round (PageRank), in which
+//     case gather/apply still run and the round counts;
+//   * a counted round with no newly-activated vertex ends the run
+//     (again: unless the program scatters all vertices);
+//   * the run also ends after options.max_iterations counted rounds —
+//     the stopping rule for kScatterAllVertices programs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/check.hpp"
+#include "graph/csr.hpp"
+#include "graph/program.hpp"
+
+namespace fbfs::inmem {
+
+struct RunOptions {
+  std::uint32_t max_iterations = 1'000'000;
+};
+
+template <graph::GraphProgram P>
+struct RunResult {
+  std::vector<typename P::State> states;
+  std::uint32_t iterations = 0;       // counted rounds
+  std::uint64_t updates_emitted = 0;  // across the whole run
+};
+
+template <graph::GraphProgram P>
+RunResult<P> run(const graph::Csr& csr, const P& program,
+                 const RunOptions& options = {}) {
+  using Update = typename P::Update;
+  const std::uint64_t n = csr.num_vertices();
+
+  RunResult<P> result;
+  result.states.resize(n);
+  AtomicBitmap active(n);
+  AtomicBitmap next_active(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    bool is_active = false;
+    program.init(v, csr.out_degree(v), result.states[v], is_active);
+    if (is_active) active.set(v);
+  }
+
+  std::vector<Update> updates;
+  while (result.iterations < options.max_iterations) {
+    updates.clear();
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (!P::kScatterAllVertices && !active.test(v)) continue;
+      const typename P::State src_state = result.states[v];  // frozen copy
+      for (const graph::VertexId dst : csr.neighbors(v)) {
+        Update u;
+        if (program.scatter(graph::Edge{v, dst}, src_state, u)) {
+          updates.push_back(u);
+        }
+      }
+    }
+    if (updates.empty() && !P::kScatterAllVertices) break;
+    result.updates_emitted += updates.size();
+
+    next_active.reset();
+    for (const Update& u : updates) {
+      if (program.gather(u, result.states[u.dst])) next_active.set(u.dst);
+    }
+    if constexpr (P::kNeedsApply) {
+      for (graph::VertexId v = 0; v < n; ++v) {
+        program.apply(v, result.states[v]);
+      }
+    }
+    ++result.iterations;
+    std::swap(active, next_active);
+    if (!P::kScatterAllVertices && !active.any()) break;
+  }
+  return result;
+}
+
+/// Builds the Csr off `device` (checksum-verified) and runs; CHECKs the
+/// program's undirected requirement against the sidecar.
+template <graph::GraphProgram P>
+RunResult<P> run_graph(io::Device& device, const graph::GraphMeta& meta,
+                       const P& program, const RunOptions& options = {}) {
+  FB_CHECK_MSG(!P::kRequiresUndirected || meta.undirected,
+               P::kName << " requires a symmetric edge list, but "
+                        << meta.name << " is directed (symmetrize_edge_list)");
+  return run(graph::build_csr(device, meta), program, options);
+}
+
+}  // namespace fbfs::inmem

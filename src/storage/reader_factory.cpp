@@ -1,0 +1,52 @@
+#include "storage/reader_factory.hpp"
+
+#include "common/check.hpp"
+
+namespace fbfs::io {
+
+ReaderMode parse_reader_mode(const std::string& name) {
+  if (name == "plain") return ReaderMode::kPlain;
+  if (name == "prefetch") return ReaderMode::kPrefetch;
+  FB_CHECK_MSG(false, "unknown reader mode '" << name
+                                              << "'; valid values: plain, "
+                                                 "prefetch");
+  return ReaderMode::kPlain;
+}
+
+const char* to_string(ReaderMode mode) {
+  return mode == ReaderMode::kPrefetch ? "prefetch" : "plain";
+}
+
+ReaderOptions reader_options_from_config(const Config& config) {
+  ReaderOptions opts;
+  opts.mode = parse_reader_mode(
+      config.get_enum_or("io.reader", {"plain", "prefetch"}, "plain"));
+  opts.buffer_bytes = static_cast<std::size_t>(
+      config.get_bytes_or("io.reader_buffer", opts.buffer_bytes));
+  return opts;
+}
+
+std::unique_ptr<ByteSource> open_stream_reader(File& file,
+                                               const ReaderOptions& opts) {
+  if (opts.mode == ReaderMode::kPrefetch) {
+    return std::make_unique<detail::ByteSourceImpl<PrefetchReader>>(
+        nullptr, file, opts.buffer_bytes, opts.offset);
+  }
+  return std::make_unique<detail::ByteSourceImpl<StreamReader>>(
+      nullptr, file, opts.buffer_bytes, opts.offset);
+}
+
+std::unique_ptr<ByteSource> open_stream_reader(Device& device,
+                                               const std::string& name,
+                                               const ReaderOptions& opts) {
+  auto file = device.open(name);
+  File& ref = *file;
+  if (opts.mode == ReaderMode::kPrefetch) {
+    return std::make_unique<detail::ByteSourceImpl<PrefetchReader>>(
+        std::move(file), ref, opts.buffer_bytes, opts.offset);
+  }
+  return std::make_unique<detail::ByteSourceImpl<StreamReader>>(
+      std::move(file), ref, opts.buffer_bytes, opts.offset);
+}
+
+}  // namespace fbfs::io

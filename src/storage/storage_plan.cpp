@@ -1,0 +1,56 @@
+#include "storage/storage_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace fbfs::io {
+
+const char* to_string(Role role) {
+  switch (role) {
+    case Role::kEdges:
+      return "edges";
+    case Role::kState:
+      return "state";
+    case Role::kUpdates:
+      return "updates";
+    case Role::kStay:
+      return "stay";
+  }
+  return "?";
+}
+
+StoragePlan StoragePlan::single(Device& device) {
+  StoragePlan plan;
+  plan.devices_.fill(&device);
+  return plan;
+}
+
+StoragePlan StoragePlan::dual(Device& main, Device& aux) {
+  StoragePlan plan;
+  plan.devices_.fill(&main);
+  plan.assign(Role::kUpdates, aux);
+  plan.assign(Role::kStay, aux);
+  return plan;
+}
+
+StoragePlan& StoragePlan::assign(Role role, Device& device) {
+  devices_[static_cast<std::size_t>(role)] = &device;
+  return *this;
+}
+
+Device& StoragePlan::device(Role role) const {
+  Device* dev = devices_[static_cast<std::size_t>(role)];
+  FB_CHECK_MSG(dev != nullptr, "storage plan has no device for role "
+                                   << to_string(role));
+  return *dev;
+}
+
+bool StoragePlan::dedicated(Role role) const {
+  const Device* dev = devices_[static_cast<std::size_t>(role)];
+  for (std::size_t r = 0; r < kNumRoles; ++r) {
+    if (r == static_cast<std::size_t>(role)) continue;
+    if (devices_[r] == dev) return false;
+  }
+  return true;
+}
+
+}  // namespace fbfs::io

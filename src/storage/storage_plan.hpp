@@ -1,0 +1,62 @@
+// StoragePlan: which Device serves which stream role.
+//
+// The paper's dual-disk placement (§IV-E) puts the dominant edge read
+// stream on one disk and the introduced write streams (stay files,
+// update streams) on another, so they do not fight over one spindle.
+// Instead of threading individual Device& parameters through the
+// partitioner and engines — ad-hoc and impossible to extend when the
+// stay stream lands (PR 4) — a StoragePlan names the four stream roles
+// and maps each to a Device. Engines ask the plan, never a bare Device.
+//
+// Devices are borrowed: the plan holds pointers, the caller keeps the
+// Devices alive for the plan's lifetime (same convention as
+// ParallelBuildOptions::shard_devices).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "storage/device.hpp"
+
+namespace fbfs::io {
+
+enum class Role : std::size_t {
+  kEdges = 0,    // edge files: graph input, partition files, CSR source
+  kState = 1,    // per-partition vertex state files
+  kUpdates = 2,  // scatter->gather update streams
+  kStay = 3,     // trimmed "stay" edge files (PR 4's AsyncWriter output)
+};
+inline constexpr std::size_t kNumRoles = 4;
+
+const char* to_string(Role role);
+
+class StoragePlan {
+ public:
+  /// Everything on one device (the paper's single-disk baseline).
+  static StoragePlan single(Device& device);
+
+  /// The paper's dual-disk placement: the read-dominated roles (edges,
+  /// state) on `main`, the introduced write streams (updates, stay) on
+  /// `aux`.
+  static StoragePlan dual(Device& main, Device& aux);
+
+  /// Re-points one role (e.g. state onto an SSD).
+  StoragePlan& assign(Role role, Device& device);
+
+  Device& device(Role role) const;
+  Device& edges() const { return device(Role::kEdges); }
+  Device& state() const { return device(Role::kState); }
+  Device& updates() const { return device(Role::kUpdates); }
+  Device& stay() const { return device(Role::kStay); }
+
+  /// True when `role` shares its device with no other role (the streams
+  /// genuinely do not contend).
+  bool dedicated(Role role) const;
+
+ private:
+  StoragePlan() = default;
+
+  std::array<Device*, kNumRoles> devices_{};
+};
+
+}  // namespace fbfs::io

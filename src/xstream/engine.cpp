@@ -1,0 +1,48 @@
+#include "xstream/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace fbfs::xstream {
+
+EngineOptions engine_options_from_config(const Config& config) {
+  EngineOptions opts;
+  opts.reader = io::reader_options_from_config(config);
+  opts.write_buffer_bytes = static_cast<std::size_t>(
+      config.get_bytes_or("xstream.write_buffer", opts.write_buffer_bytes));
+  opts.max_iterations = static_cast<std::uint32_t>(
+      config.get_u64_or("xstream.max_iterations", opts.max_iterations));
+  return opts;
+}
+
+std::uint32_t partition_count_from_config(const Config& config,
+                                          std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(
+      config.get_u64_or("xstream.partition_count", fallback));
+}
+
+std::string state_file_name(const graph::PartitionedGraph& pg,
+                            std::uint32_t p) {
+  return pg.meta.name + ".P" +
+         std::to_string(pg.layout.num_partitions()) + ".state" +
+         std::to_string(p);
+}
+
+std::string update_file_name(const graph::PartitionedGraph& pg,
+                             std::uint32_t p) {
+  return pg.meta.name + ".P" +
+         std::to_string(pg.layout.num_partitions()) + ".upd" +
+         std::to_string(p);
+}
+
+namespace detail {
+
+void log_iteration(const char* program, const IterationStats& stats) {
+  FB_LOG_DEBUG << program << " round " << stats.iteration << ": "
+               << stats.partitions_scattered << " partitions scattered, "
+               << stats.updates_emitted << " updates, " << stats.activated
+               << " active next, " << stats.seconds << " s";
+}
+
+}  // namespace detail
+
+}  // namespace fbfs::xstream

@@ -88,5 +88,51 @@ TEST(ConfigDeath, MissingKeyAndMalformedValueAbort) {
   EXPECT_DEATH(Config::parse_string("no equals sign"), "has no '='");
 }
 
+TEST(Config, EnumsAcceptOnlyListedValues) {
+  const Config cfg = Config::parse_string(
+      "io.reader = prefetch\n"
+      "mode = fast\n");
+  EXPECT_EQ(cfg.get_enum("io.reader", {"plain", "prefetch"}), "prefetch");
+  EXPECT_EQ(cfg.get_enum_or("absent", {"plain", "prefetch"}, "plain"),
+            "plain");
+}
+
+TEST(ConfigDeath, EnumErrorsListTheValidValues) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Config cfg = Config::parse_string("mode = fast\n");
+  EXPECT_DEATH(cfg.get_enum("mode", {"slow", "steady"}),
+               "invalid value 'fast'; valid values: slow, steady");
+  EXPECT_DEATH(cfg.get_enum("absent", {"a", "b"}), "missing config key");
+  // A bad fallback is a programming error, not a config error.
+  EXPECT_DEATH(cfg.get_enum_or("absent", {"a", "b"}, "c"),
+               "fallback .* is invalid");
+}
+
+TEST(Config, ByteSizesAcceptBinarySuffixes) {
+  const Config cfg = Config::parse_string(
+      "plain = 4096\n"
+      "kib = 64K\n"
+      "mib = 4MiB\n"
+      "gib = 2 GB\n"
+      "zero = 0\n");
+  EXPECT_EQ(cfg.get_bytes("plain"), 4096u);
+  EXPECT_EQ(cfg.get_bytes("kib"), 64u * 1024);
+  EXPECT_EQ(cfg.get_bytes("mib"), 4u * 1024 * 1024);
+  EXPECT_EQ(cfg.get_bytes("gib"), 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(cfg.get_bytes("zero"), 0u);
+  EXPECT_EQ(cfg.get_bytes_or("absent", 1 << 20), 1u << 20);
+}
+
+TEST(ConfigDeath, ByteSizeErrorsListTheValidSuffixes) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Config cfg = Config::parse_string(
+      "bad_unit = 4 MiBs\n"
+      "negative = -1K\n"
+      "no_number = MiB\n");
+  EXPECT_DEATH(cfg.get_bytes("bad_unit"), "optional suffix B, K/KB/KiB");
+  EXPECT_DEATH(cfg.get_bytes("negative"), "not a byte size");
+  EXPECT_DEATH(cfg.get_bytes("no_number"), "not a byte size");
+}
+
 }  // namespace
 }  // namespace fbfs

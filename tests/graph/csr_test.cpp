@@ -1,0 +1,63 @@
+// CSR invariants: exact degree/offset bookkeeping, edge-list order kept
+// within each source's bucket, and the device-built CSR matching the
+// in-memory one.
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "graph/generators.hpp"
+
+namespace fbfs::graph {
+namespace {
+
+TEST(Csr, HandGraphDegreesAndNeighbours) {
+  const std::vector<Edge> edges = {{0, 2}, {1, 0}, {0, 1}, {3, 3}, {0, 2}};
+  const Csr csr(4, edges);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 5u);
+  EXPECT_EQ(csr.out_degree(0), 3u);
+  EXPECT_EQ(csr.out_degree(1), 1u);
+  EXPECT_EQ(csr.out_degree(2), 0u);
+  EXPECT_EQ(csr.out_degree(3), 1u);
+  // Stable: 0's targets keep their edge-list order, duplicates kept.
+  const auto n0 = csr.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{2, 1, 2}));
+  EXPECT_TRUE(csr.neighbors(2).empty());
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr csr(3, {});
+  EXPECT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_EQ(csr.out_degree(1), 0u);
+}
+
+TEST(Csr, BuiltFromDeviceMatchesInMemoryBuild) {
+  TempDir dir("csr");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const ErdosRenyiSource source(
+      {.num_vertices = 2'000, .num_edges = 16'000, .seed = 5});
+  const GraphMeta meta = write_generated(
+      dev, "er", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const EdgeSink& sink) { source.generate(sink); });
+
+  const Csr from_device = build_csr(dev, meta);
+  const Csr from_memory(meta.num_vertices, read_all_edges(dev, meta));
+  ASSERT_EQ(from_device.num_edges(), from_memory.num_edges());
+  std::uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < meta.num_vertices; ++v) {
+    ASSERT_EQ(from_device.out_degree(v), from_memory.out_degree(v));
+    const auto a = from_device.neighbors(v);
+    const auto b = from_memory.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    degree_sum += a.size();
+  }
+  EXPECT_EQ(degree_sum, meta.num_edges);
+}
+
+}  // namespace
+}  // namespace fbfs::graph

@@ -1,0 +1,114 @@
+// GraphProgram semantics, independent of any engine: the scatter /
+// gather / apply contracts each program promises, and the bit-identity
+// rule — gather must be an order-free fold, because the engines deliver
+// updates in different orders.
+#include "graph/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace fbfs::graph {
+namespace {
+
+TEST(Programs, BfsScatterCarriesNextLevelAndGatherTakesTheMin) {
+  const BfsProgram bfs{.root = 3};
+  BfsProgram::State s;
+  bool active = false;
+  bfs.init(3, 7, s, active);
+  EXPECT_TRUE(active);
+  EXPECT_EQ(s.level, 0u);
+  bfs.init(2, 7, s, active);
+  EXPECT_FALSE(active);
+  EXPECT_EQ(s.level, kUnreachedLevel);
+
+  BfsProgram::Update u;
+  ASSERT_TRUE(bfs.scatter({3, 2}, {.level = 4}, u));
+  EXPECT_EQ(u.dst, 2u);
+  EXPECT_EQ(u.level, 5u);
+
+  BfsProgram::State dst{.level = kUnreachedLevel};
+  EXPECT_TRUE(bfs.gather({2, 5}, dst));   // first reach activates
+  EXPECT_EQ(dst.level, 5u);
+  EXPECT_FALSE(bfs.gather({2, 9}, dst));  // worse level is a no-op
+  EXPECT_EQ(dst.level, 5u);
+  EXPECT_TRUE(bfs.gather({2, 1}, dst));
+  EXPECT_EQ(dst.level, 1u);
+}
+
+TEST(Programs, WccEveryVertexStartsActiveWithItsOwnLabel) {
+  const WccProgram wcc;
+  WccProgram::State s;
+  bool active = false;
+  wcc.init(17, 0, s, active);
+  EXPECT_TRUE(active);
+  EXPECT_EQ(s.label, 17u);
+  EXPECT_TRUE(WccProgram::kRequiresUndirected);
+
+  WccProgram::State dst{.label = 9};
+  EXPECT_FALSE(wcc.gather({1, 9}, dst));  // equal label: no reactivation
+  EXPECT_TRUE(wcc.gather({1, 2}, dst));
+  EXPECT_EQ(dst.label, 2u);
+}
+
+TEST(Programs, SsspWeightsAreDeterministicPerEdgeAndBounded) {
+  const Edge e{11, 29};
+  const float w = edge_weight(e);
+  EXPECT_EQ(w, edge_weight(e));  // pure function of the edge
+  EXPECT_GE(w, 1.0f);
+  EXPECT_LT(w, 2.0f);
+  EXPECT_NE(edge_weight({11, 29}), edge_weight({29, 11}));
+
+  const SsspProgram sssp{.root = 0};
+  SsspProgram::Update u;
+  ASSERT_TRUE(sssp.scatter(e, {.dist = 2.5f}, u));
+  EXPECT_EQ(u.dst, 29u);
+  EXPECT_EQ(u.dist, 2.5f + w);
+}
+
+TEST(Programs, PageRankGatherIsOrderFree) {
+  // The fixed-point accumulator is what buys bit-identical PageRank
+  // across engines: fold the same multiset of updates in shuffled
+  // orders and the state must match exactly.
+  const PageRankProgram pr{.num_vertices = 1000};
+  std::vector<PageRankProgram::Update> updates;
+  std::mt19937 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    PageRankProgram::State src;
+    bool active = false;
+    pr.init(0, 1 + rng() % 40, src, active);
+    PageRankProgram::Update u;
+    ASSERT_TRUE(pr.scatter({0, 1}, src, u));
+    updates.push_back(u);
+  }
+  const auto fold = [&](const std::vector<PageRankProgram::Update>& us) {
+    PageRankProgram::State s{};
+    for (const auto& u : us) pr.gather(u, s);
+    pr.apply(1, s);
+    return s.rank;
+  };
+  const float baseline = fold(updates);
+  for (int round = 0; round < 5; ++round) {
+    std::shuffle(updates.begin(), updates.end(), rng);
+    ASSERT_EQ(fold(updates), baseline);
+  }
+}
+
+TEST(Programs, PageRankApplyResetsTheAccumulator) {
+  const PageRankProgram pr{.num_vertices = 4};
+  PageRankProgram::State s;
+  bool active = false;
+  pr.init(0, 2, s, active);
+  EXPECT_TRUE(active);
+  EXPECT_FLOAT_EQ(s.rank, 0.25f);
+
+  // No inputs: rank decays to the teleport share.
+  pr.apply(0, s);
+  EXPECT_FLOAT_EQ(s.rank, 0.15f / 4);
+  EXPECT_EQ(s.accum, 0u);
+}
+
+}  // namespace
+}  // namespace fbfs::graph

@@ -1,0 +1,58 @@
+// StoragePlan: role -> device mapping for the paper's disk placements.
+#include "storage/storage_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.hpp"
+
+namespace fbfs::io {
+namespace {
+
+TEST(StoragePlan, SinglePutsEveryRoleOnOneDevice) {
+  TempDir dir("plan");
+  Device dev(dir.str(), DeviceModel::unthrottled());
+  const StoragePlan plan = StoragePlan::single(dev);
+  EXPECT_EQ(&plan.edges(), &dev);
+  EXPECT_EQ(&plan.state(), &dev);
+  EXPECT_EQ(&plan.updates(), &dev);
+  EXPECT_EQ(&plan.stay(), &dev);
+  for (std::size_t r = 0; r < kNumRoles; ++r) {
+    EXPECT_FALSE(plan.dedicated(static_cast<Role>(r)));
+  }
+}
+
+TEST(StoragePlan, DualSplitsReadAndWriteStreams) {
+  TempDir dir("plan");
+  Device main(dir.str() + "/main", DeviceModel::unthrottled());
+  Device aux(dir.str() + "/aux", DeviceModel::unthrottled());
+  const StoragePlan plan = StoragePlan::dual(main, aux);
+  EXPECT_EQ(&plan.edges(), &main);
+  EXPECT_EQ(&plan.state(), &main);
+  EXPECT_EQ(&plan.updates(), &aux);
+  EXPECT_EQ(&plan.stay(), &aux);
+  // Shared within each disk, but no role shares across the split.
+  EXPECT_FALSE(plan.dedicated(Role::kEdges));
+  EXPECT_FALSE(plan.dedicated(Role::kUpdates));
+}
+
+TEST(StoragePlan, AssignRepointsOneRole) {
+  TempDir dir("plan");
+  Device main(dir.str() + "/main", DeviceModel::unthrottled());
+  Device ssd(dir.str() + "/ssd", DeviceModel::unthrottled());
+  StoragePlan plan = StoragePlan::single(main);
+  plan.assign(Role::kState, ssd);
+  EXPECT_EQ(&plan.state(), &ssd);
+  EXPECT_EQ(&plan.edges(), &main);
+  EXPECT_TRUE(plan.dedicated(Role::kState));
+  EXPECT_FALSE(plan.dedicated(Role::kUpdates));
+}
+
+TEST(StoragePlan, RoleNames) {
+  EXPECT_STREQ(to_string(Role::kEdges), "edges");
+  EXPECT_STREQ(to_string(Role::kState), "state");
+  EXPECT_STREQ(to_string(Role::kUpdates), "updates");
+  EXPECT_STREQ(to_string(Role::kStay), "stay");
+}
+
+}  // namespace
+}  // namespace fbfs::io

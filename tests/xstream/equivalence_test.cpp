@@ -1,0 +1,210 @@
+// The acceptance suite for the GraphProgram API: every program, on
+// every generator family, must produce BIT-IDENTICAL results from the
+// streaming engine and the in-memory reference — at multiple partition
+// counts, with either reader mode, and regardless of device placement.
+// This is what licenses PR 4's I/O optimisations to validate against
+// inmem instead of re-deriving ground truth per algorithm.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/temp_dir.hpp"
+#include "graph/generators.hpp"
+#include "inmem/engine.hpp"
+#include "xstream/engine.hpp"
+
+namespace fbfs {
+namespace {
+
+using graph::BfsProgram;
+using graph::GraphMeta;
+using graph::PageRankProgram;
+using graph::SsspProgram;
+using graph::VertexId;
+using graph::WccProgram;
+
+GraphMeta materialize(io::Device& dev, const std::string& name,
+                      const graph::ChunkedEdgeSource& source) {
+  return graph::write_generated(
+      dev, name, source.num_vertices(), source.seed(), source.undirected(),
+      [&](const graph::EdgeSink& sink) { source.generate(sink); });
+}
+
+GraphMeta rmat_meta(io::Device& dev) {
+  return materialize(dev, "rmat",
+                     graph::RmatSource({.scale = 9, .edge_factor = 8,
+                                        .seed = 7}));
+}
+
+GraphMeta er_meta(io::Device& dev) {
+  return materialize(dev, "er",
+                     graph::ErdosRenyiSource({.num_vertices = 1000,
+                                              .num_edges = 8000, .seed = 11}));
+}
+
+GraphMeta grid_meta(io::Device& dev) {
+  return materialize(dev, "grid",
+                     graph::Grid2dSource({.width = 24, .height = 24}));
+}
+
+/// Runs `program` through the in-memory reference once, then through
+/// the streaming engine at two partition counts x both reader modes,
+/// demanding identical iteration counts, identical update totals, and
+/// byte-identical states and outputs.
+template <graph::GraphProgram P>
+void expect_equivalent(io::Device& dev, const GraphMeta& meta,
+                       const P& program,
+                       std::uint32_t max_iterations = 1'000'000) {
+  const auto reference =
+      inmem::run_graph(dev, meta, program, {.max_iterations = max_iterations});
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  for (const std::uint32_t parts : {2u, 5u}) {
+    const graph::PartitionedGraph pg =
+        graph::partition_edge_list(plan, meta, parts);
+    for (const io::ReaderMode mode :
+         {io::ReaderMode::kPlain, io::ReaderMode::kPrefetch}) {
+      SCOPED_TRACE(std::string(P::kName) + " on " + meta.name + ", P=" +
+                   std::to_string(parts) + ", reader=" + to_string(mode));
+      xstream::EngineOptions options;
+      options.reader.mode = mode;
+      options.max_iterations = max_iterations;
+      const auto streamed = xstream::run(pg, plan, program, options);
+
+      ASSERT_EQ(streamed.iterations, reference.iterations);
+      ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
+      ASSERT_EQ(streamed.states.size(), reference.states.size());
+      ASSERT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
+                            streamed.states.size() * sizeof(typename P::State)),
+                0);
+      // The user-visible outputs, compared bit-wise (memcmp, so float
+      // outputs must match to the last bit, inf included).
+      for (VertexId v = 0; v < streamed.states.size(); ++v) {
+        const auto want = program.output(v, reference.states[v]);
+        const auto got = program.output(v, streamed.states[v]);
+        ASSERT_EQ(std::memcmp(&want, &got, sizeof(want)), 0) << "vertex " << v;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- BFS
+
+TEST(Equivalence, BfsOnRmat) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, rmat_meta(dev), BfsProgram{.root = 0});
+}
+
+TEST(Equivalence, BfsOnErdosRenyi) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, er_meta(dev), BfsProgram{.root = 3});
+}
+
+TEST(Equivalence, BfsOnGrid) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, grid_meta(dev), BfsProgram{.root = 0});
+}
+
+// ---------------------------------------------------------------- WCC
+
+TEST(Equivalence, WccOnRmatSymmetrized) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta sym =
+      graph::symmetrize_edge_list(dev, rmat_meta(dev), "rmat_sym");
+  expect_equivalent(dev, sym, WccProgram{});
+}
+
+TEST(Equivalence, WccOnErdosRenyiSymmetrized) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta sym =
+      graph::symmetrize_edge_list(dev, er_meta(dev), "er_sym");
+  expect_equivalent(dev, sym, WccProgram{});
+}
+
+TEST(Equivalence, WccOnGrid) {
+  // The lattice generator already emits both directions.
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, grid_meta(dev), WccProgram{});
+}
+
+// --------------------------------------------------------------- SSSP
+
+TEST(Equivalence, SsspOnRmat) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, rmat_meta(dev), SsspProgram{.root = 0});
+}
+
+TEST(Equivalence, SsspOnErdosRenyi) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, er_meta(dev), SsspProgram{.root = 3});
+}
+
+TEST(Equivalence, SsspOnGrid) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, grid_meta(dev), SsspProgram{.root = 0});
+}
+
+// ----------------------------------------------------------- PageRank
+
+TEST(Equivalence, PageRankOnRmat) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = rmat_meta(dev);
+  expect_equivalent(dev, meta,
+                    PageRankProgram{.num_vertices = meta.num_vertices},
+                    /*max_iterations=*/5);
+}
+
+TEST(Equivalence, PageRankOnErdosRenyi) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = er_meta(dev);
+  expect_equivalent(dev, meta,
+                    PageRankProgram{.num_vertices = meta.num_vertices},
+                    /*max_iterations=*/5);
+}
+
+TEST(Equivalence, PageRankOnGrid) {
+  TempDir dir("equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = grid_meta(dev);
+  expect_equivalent(dev, meta,
+                    PageRankProgram{.num_vertices = meta.num_vertices},
+                    /*max_iterations=*/5);
+}
+
+// --------------------------------------------------- device placement
+
+TEST(Equivalence, DualPlanMatchesSinglePlan) {
+  // Splitting update/stay streams onto a second device must not change
+  // a single byte of the result — placement is pure I/O routing.
+  TempDir dir("equiv");
+  io::Device main_dev(dir.str() + "/main", io::DeviceModel::unthrottled());
+  io::Device aux_dev(dir.str() + "/aux", io::DeviceModel::unthrottled());
+  const GraphMeta meta = rmat_meta(main_dev);
+  const auto reference = inmem::run_graph(main_dev, meta, BfsProgram{});
+
+  const io::StoragePlan plan = io::StoragePlan::dual(main_dev, aux_dev);
+  const graph::PartitionedGraph pg =
+      graph::partition_edge_list(plan, meta, 4);
+  const auto streamed = xstream::run(pg, plan, BfsProgram{});
+  ASSERT_EQ(streamed.states.size(), reference.states.size());
+  EXPECT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
+                        streamed.states.size() *
+                            sizeof(BfsProgram::State)),
+            0);
+  EXPECT_EQ(streamed.iterations, reference.iterations);
+  EXPECT_GT(aux_dev.stats().bytes_written(), 0u);  // updates really moved
+}
+
+}  // namespace
+}  // namespace fbfs

@@ -1,0 +1,148 @@
+// Streaming-engine mechanics: state/update files land on the roles the
+// StoragePlan names, partitions with no active source are skipped,
+// files are cleaned up (or kept on request), and the config plumbing
+// resolves engine options.
+#include "xstream/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "graph/generators.hpp"
+
+namespace fbfs::xstream {
+namespace {
+
+using graph::BfsProgram;
+using graph::Edge;
+using graph::GraphMeta;
+using graph::kUnreachedLevel;
+using graph::PartitionedGraph;
+
+GraphMeta chain_graph(io::Device& dev, std::uint64_t n) {
+  // 0 -> 1 -> ... -> n-1.
+  return graph::write_generated(
+      dev, "chain", n, 1, /*undirected=*/false,
+      [&](const graph::EdgeSink& sink) {
+        for (graph::VertexId v = 0; v + 1 < n; ++v) {
+          sink({v, v + 1});
+        }
+      });
+}
+
+TEST(XStream, BfsOnAChainAcrossPartitions) {
+  TempDir dir("xstream");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = chain_graph(dev, 20);
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 4);
+
+  const auto result = run(pg, plan, BfsProgram{.root = 0});
+  ASSERT_EQ(result.states.size(), 20u);
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(result.states[v].level, v);
+  }
+  EXPECT_EQ(result.iterations, 19u);
+  EXPECT_EQ(result.updates_emitted, 19u);  // each edge fires exactly once
+  EXPECT_EQ(result.per_iteration.size(), result.iterations);
+}
+
+TEST(XStream, InactivePartitionsAreNotScattered) {
+  TempDir dir("xstream");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = chain_graph(dev, 20);
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 4);
+
+  const auto result = run(pg, plan, BfsProgram{.root = 0});
+  // A chain BFS has a one-vertex frontier: every round touches exactly
+  // the one partition owning it — the skip logic the paper's selective
+  // scheduling (PR 4) builds on.
+  for (const IterationStats& stats : result.per_iteration) {
+    EXPECT_EQ(stats.partitions_scattered, 1u) << stats.iteration;
+    EXPECT_LE(stats.updates_emitted, 1u);
+  }
+}
+
+TEST(XStream, StoragePlanRoutesStreamsToTheirDevices) {
+  TempDir dir("xstream");
+  io::Device edges_dev(dir.str() + "/edges", io::DeviceModel::unthrottled());
+  io::Device state_dev(dir.str() + "/state", io::DeviceModel::unthrottled());
+  io::Device upd_dev(dir.str() + "/upd", io::DeviceModel::unthrottled());
+  const GraphMeta meta = chain_graph(edges_dev, 32);
+  io::StoragePlan plan = io::StoragePlan::single(edges_dev);
+  plan.assign(io::Role::kState, state_dev);
+  plan.assign(io::Role::kUpdates, upd_dev);
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 3);
+
+  EngineOptions options;
+  options.keep_files = true;
+  const auto result = run(pg, plan, BfsProgram{.root = 0}, options);
+  EXPECT_EQ(result.states.back().level, 31u);
+
+  // Each stream only touched its own device.
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_TRUE(state_dev.exists(state_file_name(pg, p)));
+    EXPECT_TRUE(upd_dev.exists(update_file_name(pg, p)));
+    EXPECT_FALSE(edges_dev.exists(state_file_name(pg, p)));
+    EXPECT_FALSE(edges_dev.exists(update_file_name(pg, p)));
+  }
+  EXPECT_GT(state_dev.stats().bytes_written(), 0u);
+  EXPECT_GT(upd_dev.stats().bytes_written(), 0u);
+  // The dominant edge stream stayed off the auxiliary devices: they
+  // never read or wrote an edge record.
+  EXPECT_EQ(state_dev.stats().bytes_read() % sizeof(BfsProgram::State), 0u);
+}
+
+TEST(XStream, FilesAreRemovedByDefault) {
+  TempDir dir("xstream");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = chain_graph(dev, 12);
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 2);
+  (void)run(pg, plan, BfsProgram{.root = 0});
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    EXPECT_FALSE(dev.exists(state_file_name(pg, p)));
+    EXPECT_FALSE(dev.exists(update_file_name(pg, p)));
+  }
+  // The inputs survive.
+  EXPECT_TRUE(dev.exists(meta.edge_file()));
+  EXPECT_TRUE(dev.exists(pg.partition_file(0)));
+}
+
+TEST(XStream, SinglePartitionAndUnreachableVertices) {
+  TempDir dir("xstream");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = graph::write_generated(
+      dev, "two_islands", 6, 1, /*undirected=*/false,
+      [](const graph::EdgeSink& sink) {
+        sink({0, 1});
+        sink({4, 5});
+      });
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 1);
+  const auto result = run(pg, plan, BfsProgram{.root = 0});
+  EXPECT_EQ(result.states[1].level, 1u);
+  EXPECT_EQ(result.states[4].level, kUnreachedLevel);
+  EXPECT_EQ(result.states[5].level, kUnreachedLevel);
+}
+
+TEST(XStream, EngineOptionsComeFromConfigKeys) {
+  const Config cfg = Config::parse_string(
+      "io.reader = prefetch\n"
+      "io.reader_buffer = 256K\n"
+      "xstream.write_buffer = 2M\n"
+      "xstream.max_iterations = 42\n"
+      "xstream.partition_count = 12\n");
+  const EngineOptions options = engine_options_from_config(cfg);
+  EXPECT_EQ(options.reader.mode, io::ReaderMode::kPrefetch);
+  EXPECT_EQ(options.reader.buffer_bytes, 256u * 1024);
+  EXPECT_EQ(options.write_buffer_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(options.max_iterations, 42u);
+  EXPECT_EQ(partition_count_from_config(cfg, 4), 12u);
+  EXPECT_EQ(partition_count_from_config(Config(), 4), 4u);
+}
+
+}  // namespace
+}  // namespace fbfs::xstream
