@@ -69,6 +69,41 @@ class AtomicBitmap {
     return false;
   }
 
+  /// True iff any bit in [begin, end) is set — the engines' per-round
+  /// "does partition p have an active source?" probe. Word-level: a
+  /// masked load for each boundary word, whole-word loads in between,
+  /// so the scan is O(range/64) instead of O(range) test() calls.
+  bool any_in_range(std::uint64_t begin, std::uint64_t end) const {
+    FB_CHECK_LE(begin, end);
+    FB_CHECK_LE(end, bits_);
+    if (begin == end) return false;
+    const std::uint64_t first = begin >> 6;
+    const std::uint64_t last = (end - 1) >> 6;
+    const std::uint64_t head_mask = ~0ull << (begin & 63);
+    const std::uint64_t tail_mask = ~0ull >> (63 - ((end - 1) & 63));
+    if (first == last) {
+      return (data_[first].load(std::memory_order_relaxed) & head_mask &
+              tail_mask) != 0;
+    }
+    if ((data_[first].load(std::memory_order_relaxed) & head_mask) != 0) {
+      return true;
+    }
+    for (std::uint64_t w = first + 1; w < last; ++w) {
+      if (data_[w].load(std::memory_order_relaxed) != 0) return true;
+    }
+    return (data_[last].load(std::memory_order_relaxed) & tail_mask) != 0;
+  }
+
+  /// Sets every bit that is set in `other` (same size required) — how
+  /// the trimming engine folds a round's frontier into its retired set.
+  void or_with(const AtomicBitmap& other) {
+    FB_CHECK_EQ(bits_, other.bits_);
+    for (std::uint64_t w = 0; w < words_; ++w) {
+      const std::uint64_t bits = other.data_[w].load(std::memory_order_relaxed);
+      if (bits != 0) data_[w].fetch_or(bits, std::memory_order_relaxed);
+    }
+  }
+
  private:
   static std::uint64_t bit(std::uint64_t i) { return 1ull << (i & 63); }
   void check_index(std::uint64_t i) const { FB_CHECK_LT(i, bits_); }

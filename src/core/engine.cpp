@@ -1,0 +1,69 @@
+#include "core/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace fbfs::core {
+
+EngineOptions engine_options_from_config(const Config& config) {
+  EngineOptions opts;
+  opts.reader = io::reader_options_from_config(config);
+  opts.write_buffer_bytes = static_cast<std::size_t>(
+      config.get_bytes_or("core.write_buffer", opts.write_buffer_bytes));
+  opts.max_iterations = static_cast<std::uint32_t>(
+      config.get_u64_or("core.max_iterations", opts.max_iterations));
+  opts.trim = config.get_bool_or("core.trim", opts.trim);
+  opts.selective = config.get_bool_or("core.selective", opts.selective);
+  opts.trim_start_round = static_cast<std::uint32_t>(
+      config.get_u64_or("core.trim_start_round", opts.trim_start_round));
+  opts.trim_min_frontier_fraction = config.get_f64_or(
+      "core.trim_min_frontier_fraction", opts.trim_min_frontier_fraction);
+  opts.trim_min_dead_fraction = config.get_f64_or(
+      "core.trim_min_dead_fraction", opts.trim_min_dead_fraction);
+  opts.grace_timeout_seconds =
+      config.get_f64_or("core.grace_timeout", opts.grace_timeout_seconds);
+  opts.stay_buffer_bytes = static_cast<std::size_t>(
+      config.get_bytes_or("core.stay_buffer", opts.stay_buffer_bytes));
+  opts.stay_pool_buffers = static_cast<std::size_t>(
+      config.get_u64_or("core.stay_pool_buffers", opts.stay_pool_buffers));
+  return opts;
+}
+
+std::uint32_t partition_count_from_config(const Config& config,
+                                          std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(
+      config.get_u64_or("core.partition_count", fallback));
+}
+
+std::string stay_file_name(const graph::PartitionedGraph& pg,
+                           std::uint32_t p) {
+  return pg.meta.name + ".P" +
+         std::to_string(pg.layout.num_partitions()) + ".stay" +
+         std::to_string(p);
+}
+
+namespace detail {
+
+void log_trim_resolution(const char* program, std::uint32_t partition,
+                         io::AsyncWriter::StreamState state) {
+  const char* outcome = "?";
+  switch (state) {
+    case io::AsyncWriter::StreamState::active:
+      outcome = "active";
+      break;
+    case io::AsyncWriter::StreamState::completed:
+      outcome = "committed";
+      break;
+    case io::AsyncWriter::StreamState::cancelled:
+      outcome = "cancelled";
+      break;
+    case io::AsyncWriter::StreamState::failed:
+      outcome = "failed";
+      break;
+  }
+  FB_LOG_DEBUG << program << " trim of partition " << partition << ": "
+               << outcome;
+}
+
+}  // namespace detail
+
+}  // namespace fbfs::core

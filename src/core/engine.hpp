@@ -1,0 +1,381 @@
+// The FastBFS engine (ROADMAP item 1): the streaming scatter/gather
+// loop of xstream::run plus the paper's §II-C mechanisms —
+//
+//   edge trimming       during a partition's scatter scan, edges whose
+//                       source is in the frontier emit their update and
+//                       die (a trimmable program never re-activates a
+//                       scattered source); surviving edges stream
+//                       through AsyncWriter::begin_staged onto the
+//                       plan's stay device as the partition's
+//                       next-iteration input;
+//   latency hiding      the stay write proceeds on the writer thread
+//                       while the scatter loop moves on; only the NEXT
+//                       scatter of the same partition needs the file,
+//                       so wait_complete(id, grace_timeout) gates the
+//                       swap there — on timeout the stream is
+//                       cancelled and the previous input file is
+//                       reused (begin_staged's .wip-never-clobbers
+//                       contract makes the fallback safe);
+//   trim triggers       per partition and per round, trimming starts
+//                       only when it plausibly pays: round >=
+//                       trim_start_round, frontier fraction >=
+//                       trim_min_frontier_fraction, and the dead-edge
+//                       fraction observed in the partition's previous
+//                       scan >= trim_min_dead_fraction;
+//   selective scheduling partitions whose vertex range received no
+//                       gather update are skipped outright (shared
+//                       with xstream via AtomicBitmap::any_in_range).
+//
+// Trimming applies only to programs declaring kTrimmable (BFS — see
+// program.hpp for the licence); for the rest core::run degrades to the
+// untrimmed loop and stays bit-identical to xstream::run/inmem::run by
+// construction. Deadness is engine-level: `retired` accumulates every
+// past frontier, and an edge survives iff its source is neither active
+// nor retired — no peeking into program State.
+//
+// Round accounting and stop rules are EXACTLY inmem::run's (change
+// both or neither); init/fan-out/gather/collect come verbatim from
+// xstream/detail.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/partitioner.hpp"
+#include "graph/program.hpp"
+#include "storage/async_writer.hpp"
+#include "storage/reader_factory.hpp"
+#include "storage/storage_plan.hpp"
+#include "xstream/detail.hpp"
+
+namespace fbfs::core {
+
+struct EngineOptions {
+  /// Edge, update, and state streams all honour this mode/buffer.
+  io::ReaderOptions reader;
+  /// Split across the P update writers during scatter; whole for the
+  /// state write-back.
+  std::size_t write_buffer_bytes = 1 << 20;
+  std::uint32_t max_iterations = 1'000'000;
+  /// Leave state, update, and stay files on their devices after the run.
+  bool keep_files = false;
+
+  /// Master switch for edge trimming (only effective for kTrimmable
+  /// programs).
+  bool trim = true;
+  /// Skip partitions with no active source (xstream always does; here a
+  /// knob so the ablation can price it).
+  bool selective = true;
+  /// First round allowed to start a trim (0 = eager).
+  std::uint32_t trim_start_round = 0;
+  /// Trim only when at least this fraction of all vertices is active
+  /// this round (a large frontier retires many sources at once, so the
+  /// rewrite pays; high-diameter graphs with sliver frontiers gate out).
+  double trim_min_frontier_fraction = 0.0;
+  /// Trim only when the partition's previous scan saw at least this
+  /// fraction of its input edges already dead.
+  double trim_min_dead_fraction = 0.0;
+  /// Seconds the next scatter of a partition waits for its pending stay
+  /// stream before cancelling and falling back to the previous input.
+  double grace_timeout_seconds = 5.0;
+  /// AsyncWriter pool geometry for the stay streams.
+  std::size_t stay_buffer_bytes = 1 << 20;
+  std::size_t stay_pool_buffers = 4;
+};
+
+/// Reads `io.reader` / `io.reader_buffer` (reader_factory) and the
+/// `core.*` keys: write_buffer, max_iterations, trim, selective,
+/// trim_start_round, trim_min_frontier_fraction, trim_min_dead_fraction,
+/// grace_timeout (seconds), stay_buffer, stay_pool_buffers.
+EngineOptions engine_options_from_config(const Config& config);
+
+/// Reads `core.partition_count`, falling back to `fallback`.
+std::uint32_t partition_count_from_config(const Config& config,
+                                          std::uint32_t fallback);
+
+/// Partition p's trimmed input on the stay device. Staged writes land
+/// on "<name>.wip" first, so the previous version survives cancellation.
+std::string stay_file_name(const graph::PartitionedGraph& pg,
+                           std::uint32_t p);
+
+/// xstream's per-round stats plus the trim life cycle. Resolution
+/// counters (committed/cancelled/failed) land on the round that
+/// RESOLVED the stream — the next scan of that partition — not the
+/// round that started it.
+struct IterationStats : xstream::IterationStats {
+  std::uint32_t trims_started = 0;
+  std::uint32_t trims_committed = 0;
+  std::uint32_t trims_cancelled = 0;
+  std::uint32_t trims_failed = 0;
+  /// Survivor edges accepted by streams STARTED this round.
+  std::uint64_t stay_edges_written = 0;
+};
+
+template <graph::GraphProgram P>
+struct RunResult {
+  std::vector<typename P::State> states;  // all vertices, in id order
+  std::uint32_t iterations = 0;
+  std::uint64_t updates_emitted = 0;
+  std::vector<IterationStats> per_iteration;
+  // Trim totals over the whole run (including streams still pending at
+  // the end, which are resolved with the same grace protocol).
+  std::uint32_t trims_started = 0;
+  std::uint32_t trims_committed = 0;
+  std::uint32_t trims_cancelled = 0;
+  std::uint32_t trims_failed = 0;
+  std::uint64_t stay_edges_written = 0;
+};
+
+namespace detail {
+
+void log_trim_resolution(const char* program, std::uint32_t partition,
+                         io::AsyncWriter::StreamState state);
+
+/// After a grace-timeout cancel, the writer thread gets this long to
+/// reach a terminal state (cancel is cooperative and never blocks on
+/// the device, so this settles promptly; it exists so a commit that
+/// raced the cancel is observed as the commit it is).
+inline constexpr double kSettleTimeoutSeconds = 60.0;
+
+/// One in-flight stay stream per partition: the trim started at some
+/// round's scan, resolved at the partition's next scan (or end of run).
+struct PendingTrim {
+  io::AsyncWriter::StreamId id = 0;
+  std::uint64_t survivors = 0;  // edges appended to the stream
+};
+
+}  // namespace detail
+
+template <graph::GraphProgram P>
+RunResult<P> run(const graph::PartitionedGraph& pg,
+                 const io::StoragePlan& plan, const P& program,
+                 const EngineOptions& options = {}) {
+  using State = typename P::State;
+  using Update = typename P::Update;
+  namespace xd = xstream::detail;
+  FB_CHECK_MSG(!P::kRequiresUndirected || pg.meta.undirected,
+               P::kName << " requires a symmetric edge list, but "
+                        << pg.meta.name
+                        << " is directed (symmetrize_edge_list)");
+  const graph::PartitionLayout& layout = pg.layout;
+  const std::uint32_t num_partitions = layout.num_partitions();
+  const std::uint64_t n = layout.num_vertices();
+
+  RunResult<P> result;
+  AtomicBitmap active(n);
+  AtomicBitmap next_active(n);
+
+  xd::init_partition_states(pg, plan, options.reader,
+                            options.write_buffer_bytes, program, active);
+
+  // ---- trimming state. Only kTrimmable programs ever pay for any of
+  // this; for the rest the loop below is xstream::run's.
+  const bool trim_capable = options.trim && P::kTrimmable;
+  std::optional<io::AsyncWriter> writer;
+  std::optional<AtomicBitmap> retired;
+  if (trim_capable) {
+    writer.emplace(options.stay_buffer_bytes, options.stay_pool_buffers);
+    retired.emplace(n);
+  }
+  std::vector<bool> input_on_stay(num_partitions, false);
+  std::vector<std::uint64_t> input_edges(pg.edges_per_partition);
+  // Dead edges seen in the latest scan of the partition's CURRENT input
+  // (replaced per scan — deadness is monotone, so a stale count only
+  // undercounts; reset to 0 when the input swaps to a fresh stay file).
+  std::vector<std::uint64_t> dead_seen(num_partitions, 0);
+  std::vector<std::optional<detail::PendingTrim>> pending(num_partitions);
+
+  // Resolves partition p's pending stay stream: bounded grace wait,
+  // cancel on timeout, settle, then swap the input on commit or fall
+  // back to the previous input otherwise. `stats` is null at end-of-run.
+  const auto resolve_pending = [&](std::uint32_t p, IterationStats* stats) {
+    if (!pending[p]) return;
+    const io::AsyncWriter::StreamId id = pending[p]->id;
+    bool committed = writer->wait_complete(id, options.grace_timeout_seconds);
+    if (!committed) {
+      writer->cancel(id);
+      // The commit rename may have raced the cancel; either terminal
+      // state is correct (a committed stay file is a valid input), so
+      // just observe which one the writer reached.
+      committed = writer->wait_complete(id, detail::kSettleTimeoutSeconds);
+    }
+    const io::AsyncWriter::StreamState state = writer->state(id);
+    detail::log_trim_resolution(P::kName, p, state);
+    if (committed) {
+      input_on_stay[p] = true;
+      input_edges[p] = pending[p]->survivors;
+      dead_seen[p] = 0;
+      ++result.trims_committed;
+      if (stats != nullptr) ++stats->trims_committed;
+    } else if (state == io::AsyncWriter::StreamState::failed) {
+      ++result.trims_failed;
+      if (stats != nullptr) ++stats->trims_failed;
+    } else {
+      ++result.trims_cancelled;
+      if (stats != nullptr) ++stats->trims_cancelled;
+    }
+    writer->release(id);
+    pending[p].reset();
+  };
+
+  // ---- rounds. Stop rules mirror inmem::run exactly.
+  std::vector<std::uint64_t> pending_updates(num_partitions, 0);
+  std::vector<graph::Edge> survivor_buf;
+  while (result.iterations < options.max_iterations) {
+    Stopwatch round_clock;
+    IterationStats stats;
+    stats.iteration = result.iterations;
+    const auto io_before = plan.stats_snapshot();
+    const double frontier_fraction =
+        P::kScatterAllVertices
+            ? 1.0
+            : static_cast<double>(active.count_set()) / static_cast<double>(n);
+
+    // Scatter.
+    {
+      auto fanout =
+          xd::open_update_fanout<Update>(pg, plan, options.write_buffer_bytes);
+      for (std::uint32_t p = 0; p < num_partitions; ++p) {
+        if (options.selective && !P::kScatterAllVertices &&
+            !active.any_in_range(layout.begin(p), layout.end(p))) {
+          // A pending trim of a skipped partition stays pending: the
+          // stream gets more time, and nothing needs its file yet.
+          ++stats.partitions_skipped;
+          continue;
+        }
+        ++stats.partitions_scattered;
+        resolve_pending(p, &stats);
+
+        const bool trim_this_scan =
+            trim_capable && result.iterations >= options.trim_start_round &&
+            frontier_fraction >= options.trim_min_frontier_fraction &&
+            static_cast<double>(dead_seen[p]) >=
+                options.trim_min_dead_fraction *
+                    static_cast<double>(input_edges[p]);
+        io::AsyncWriter::StreamId stay_id = 0;
+        bool stay_alive = false;
+        std::uint64_t survivors = 0;
+        std::uint64_t dead = 0;
+        if (trim_this_scan) {
+          stay_id = writer->begin_staged(plan.stay(), stay_file_name(pg, p));
+          stay_alive = true;
+          ++result.trims_started;
+          ++stats.trims_started;
+          survivor_buf.clear();
+          survivor_buf.reserve(std::max<std::size_t>(
+              1, options.stay_buffer_bytes / sizeof(graph::Edge)));
+        }
+        const auto flush_survivors = [&] {
+          if (survivor_buf.empty()) return;
+          if (stay_alive &&
+              !writer->append_raw(stay_id, survivor_buf.data(),
+                                  survivor_buf.size() * sizeof(graph::Edge))) {
+            stay_alive = false;  // stream cancelled/failed under us
+          }
+          survivor_buf.clear();
+        };
+
+        const graph::VertexId begin = layout.begin(p);
+        const std::vector<State> states = xd::read_records<State>(
+            plan.state(), xstream::state_file_name(pg, p), options.reader,
+            layout.size(p));
+        std::uint64_t scanned = 0;
+        {
+          io::Device& input_dev =
+              input_on_stay[p] ? plan.stay() : plan.edges();
+          const std::string input_name =
+              input_on_stay[p] ? stay_file_name(pg, p) : pg.partition_file(p);
+          auto edges = io::open_record_reader<graph::Edge>(
+              input_dev, input_name, options.reader);
+          for (auto batch = edges->next_batch(); !batch.empty();
+               batch = edges->next_batch()) {
+            scanned += batch.size();
+            for (const graph::Edge& e : batch) {
+              const bool src_active =
+                  P::kScatterAllVertices || active.test(e.src);
+              if (src_active) {
+                Update u;
+                if (program.scatter(e, states[e.src - begin], u)) {
+                  fanout.append(layout.owner(u.dst), u);
+                }
+              }
+              if (trim_capable) {
+                if (src_active || retired->test(e.src)) {
+                  ++dead;
+                } else if (trim_this_scan) {
+                  survivor_buf.push_back(e);
+                  if (survivor_buf.size() * sizeof(graph::Edge) >=
+                      options.stay_buffer_bytes) {
+                    flush_survivors();
+                  }
+                }
+              }
+            }
+          }
+        }  // reader closed before the stream can commit a rename
+        FB_CHECK_MSG(scanned == input_edges[p],
+                     "partition " << p << " input of " << pg.meta.name
+                                  << " holds " << scanned
+                                  << " edges, expected " << input_edges[p]);
+        if (trim_capable) dead_seen[p] = dead;
+        if (trim_this_scan) {
+          flush_survivors();
+          survivors = input_edges[p] - dead;
+          if (stay_alive) {
+            writer->finish(stay_id);
+          } else {
+            writer->cancel(stay_id);  // no-op if already failed
+          }
+          stats.stay_edges_written += survivors;
+          result.stay_edges_written += survivors;
+          pending[p] = detail::PendingTrim{stay_id, survivors};
+        }
+      }
+      stats.updates_emitted = fanout.close(pending_updates);
+    }
+    if (stats.updates_emitted == 0 && !P::kScatterAllVertices) break;
+    result.updates_emitted += stats.updates_emitted;
+
+    next_active.reset();
+    xd::gather_partitions(pg, plan, options.reader,
+                          options.write_buffer_bytes, program,
+                          pending_updates, next_active);
+
+    // This round's frontier has scattered: those sources are dead for
+    // every future round of a trimmable program.
+    if (trim_capable) retired->or_with(active);
+
+    ++result.iterations;
+    std::swap(active, next_active);
+    stats.activated = active.count_set();
+    stats.seconds = round_clock.seconds();
+    xd::capture_role_deltas(plan, io_before, stats);
+    xd::log_iteration(P::kName, stats);
+    result.per_iteration.push_back(stats);
+    if (!P::kScatterAllVertices && !active.any()) break;
+  }
+
+  // ---- settle the trims the run ended on, collect, tidy.
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    resolve_pending(p, nullptr);
+  }
+  result.states = xd::collect_states<P>(pg, plan, options.reader);
+  if (!options.keep_files) {
+    xd::remove_run_files(pg, plan);
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      if (plan.stay().exists(stay_file_name(pg, p))) {
+        plan.stay().remove(stay_file_name(pg, p));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fbfs::core

@@ -26,6 +26,15 @@
 // therefore accumulates contributions in 24.40 fixed point — integer
 // addition — instead of summing floats.
 //
+// kTrimmable is the licence for FastBFS's edge trimming (core::run): a
+// program declares it only when a vertex scattered as an active source
+// can NEVER be active again, so all of its out-edges are dead from that
+// round on and may be dropped from the partition's input file without
+// changing a single emitted update. BFS satisfies it (levels only ever
+// get set once); WCC and SSSP re-activate sources, PageRank scatters
+// everything every round — they declare false and the trimming engine
+// degrades to the untrimmed loop for them.
+//
 // Programs are small value objects; parameters (root, vertex count)
 // are constructor state, so one instance drives both the engine run and
 // the reference run of an equivalence test.
@@ -54,6 +63,7 @@ concept GraphProgram = requires(const P p, const Edge e,
   { P::kScatterAllVertices } -> std::convertible_to<bool>;
   { P::kNeedsApply } -> std::convertible_to<bool>;
   { P::kRequiresUndirected } -> std::convertible_to<bool>;
+  { P::kTrimmable } -> std::convertible_to<bool>;
   { p.init(VertexId{}, std::uint32_t{}, s, active) } -> std::same_as<void>;
   { p.scatter(e, cs, u) } -> std::same_as<bool>;
   { p.gather(std::as_const(u), s) } -> std::same_as<bool>;
@@ -78,6 +88,11 @@ struct BfsProgram {
   static constexpr bool kScatterAllVertices = false;
   static constexpr bool kNeedsApply = false;
   static constexpr bool kRequiresUndirected = false;
+  // Every update of round r carries level r+1, so a vertex activates at
+  // most once (a later update can never beat its level): a source
+  // scattered once never scatters again, and its out-edges are dead —
+  // the property FastBFS's edge trimming (core::run) relies on.
+  static constexpr bool kTrimmable = true;
 
   struct State {
     std::uint32_t level = kUnreachedLevel;
@@ -119,6 +134,9 @@ struct WccProgram {
   static constexpr bool kScatterAllVertices = false;
   static constexpr bool kNeedsApply = false;
   static constexpr bool kRequiresUndirected = true;
+  // A vertex re-activates whenever a smaller label reaches it, so its
+  // out-edges stay useful after a scatter: not trimmable.
+  static constexpr bool kTrimmable = false;
 
   struct State {
     std::uint32_t label = 0;
@@ -153,6 +171,9 @@ struct SsspProgram {
   static constexpr bool kScatterAllVertices = false;
   static constexpr bool kNeedsApply = false;
   static constexpr bool kRequiresUndirected = false;
+  // Distances improve repeatedly (weights are non-uniform), so sources
+  // re-activate: not trimmable.
+  static constexpr bool kTrimmable = false;
 
   struct State {
     float dist = std::numeric_limits<float>::infinity();
@@ -193,6 +214,8 @@ struct PageRankProgram {
   static constexpr bool kScatterAllVertices = true;
   static constexpr bool kNeedsApply = true;
   static constexpr bool kRequiresUndirected = false;
+  // Every edge carries a contribution every round: nothing ever dies.
+  static constexpr bool kTrimmable = false;
 
   /// 24.40 fixed point: contributions are <= 1, partial sums <= N < 2^24.
   static constexpr double kFixedOne = static_cast<double>(1ull << 40);

@@ -28,6 +28,13 @@ struct AsyncWriter::Stream {
   int fill = -1;                  // producer's partially-filled pool buffer
   std::size_t fill_length = 0;
   std::uint64_t accepted = 0;
+  // Set (under `mutex`) by the writer thread the instant it starts the
+  // commit sequence for a finish item. From then on cancel() is a
+  // no-op: the stream WILL reach completed (or failed), and the
+  // reported terminal state always matches what landed on disk. Without
+  // this claim a cancel racing the in-flight rename would report
+  // `cancelled` for a stream whose commit already replaced the target.
+  bool committing = false;
 
   std::atomic<StreamState> state{StreamState::active};
   std::atomic<bool> acked{false};  // writer thread finished with it
@@ -92,6 +99,13 @@ std::shared_ptr<AsyncWriter::Stream> AsyncWriter::find(StreamId id) const {
   const auto it = streams_.find(id);
   FB_CHECK_MSG(it != streams_.end(), "unknown AsyncWriter stream " << id);
   return it->second;
+}
+
+std::shared_ptr<AsyncWriter::Stream> AsyncWriter::find_or_null(
+    StreamId id) const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  const auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : it->second;
 }
 
 int AsyncWriter::acquire_buffer() {
@@ -244,6 +258,13 @@ void AsyncWriter::cancel(StreamId id) {
         StreamState::active) {
       return;
     }
+    if (stream->committing) {
+      // The writer thread already started the commit sequence; the
+      // stream will turn completed (or failed) on its own. Cancelling
+      // here would mislabel a commit that may already have renamed the
+      // staged file onto its target.
+      return;
+    }
     stream->state.store(StreamState::cancelled, std::memory_order_release);
     reclaim = stream->fill;
     stream->fill = -1;
@@ -323,7 +344,14 @@ void AsyncWriter::writer_loop() {
   WorkItem item;
   while (work_.pop(item)) {
     if (item.kind == WorkItem::Kind::stop) break;
-    const std::shared_ptr<Stream> stream = find(item.id);
+    // A stream acked from the data-fault path can be release()d by the
+    // producer while later items for it still sit in the queue; those
+    // stragglers only need their buffers returned to the pool.
+    const std::shared_ptr<Stream> stream = find_or_null(item.id);
+    if (!stream) {
+      if (item.kind == WorkItem::Kind::data) release_buffer(item.buffer);
+      continue;
+    }
 
     switch (item.kind) {
       case WorkItem::Kind::data: {
@@ -341,9 +369,16 @@ void AsyncWriter::writer_loop() {
         break;
       }
       case WorkItem::Kind::finish: {
-        if (stream->state.load(std::memory_order_acquire) !=
-            StreamState::active) {
-          break;  // lost to a cancel/fault; that path acknowledges
+        {
+          // Claim the commit atomically against cancel(): once
+          // `committing` is up, cancellation requests are no-ops and the
+          // terminal state below is the truth about the target file.
+          std::lock_guard<std::mutex> lock(stream->mutex);
+          if (stream->state.load(std::memory_order_relaxed) !=
+              StreamState::active) {
+            break;  // lost to a cancel/fault; that path acknowledges
+          }
+          stream->committing = true;
         }
         try {
           stream->file->sync();

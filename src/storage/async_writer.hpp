@@ -83,7 +83,10 @@ class AsyncWriter {
   /// No more appends; the writer commits asynchronously.
   void finish(StreamId id);
 
-  /// Requests cancellation. No-op on a terminal stream.
+  /// Requests cancellation. No-op on a terminal stream, and no-op once
+  /// the writer thread has started committing a finish(): the stream
+  /// then still turns completed/failed, never cancelled, so the
+  /// terminal state always tells the truth about the target file.
   void cancel(StreamId id);
 
   /// Waits up to `timeout_seconds` for a terminal state; true iff the
@@ -120,6 +123,7 @@ class AsyncWriter {
   void retire_stream_buffer();
   void trim_pool_locked();
   std::shared_ptr<Stream> find(StreamId id) const;
+  std::shared_ptr<Stream> find_or_null(StreamId id) const;
   void finish_terminal(Stream& stream, StreamState state);
 
   const std::size_t buffer_bytes_;

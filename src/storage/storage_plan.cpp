@@ -44,6 +44,14 @@ Device& StoragePlan::device(Role role) const {
   return *dev;
 }
 
+std::array<IoStatsSnapshot, kNumRoles> StoragePlan::stats_snapshot() const {
+  std::array<IoStatsSnapshot, kNumRoles> out;
+  for (std::size_t r = 0; r < kNumRoles; ++r) {
+    out[r] = device(static_cast<Role>(r)).stats().snapshot();
+  }
+  return out;
+}
+
 bool StoragePlan::dedicated(Role role) const {
   const Device* dev = devices_[static_cast<std::size_t>(role)];
   for (std::size_t r = 0; r < kNumRoles; ++r) {

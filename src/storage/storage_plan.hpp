@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "storage/device.hpp"
+#include "storage/io_stats.hpp"
 
 namespace fbfs::io {
 
@@ -52,6 +53,13 @@ class StoragePlan {
   /// True when `role` shares its device with no other role (the streams
   /// genuinely do not contend).
   bool dedicated(Role role) const;
+
+  /// One IoStats snapshot per role, taken from each role's device. Two
+  /// snapshots bracket an engine phase; their per-role deltas are the
+  /// phase's traffic. When roles share a device the shared counters
+  /// appear under every role mapped to it — attribution is exact only
+  /// for dedicated() roles.
+  std::array<IoStatsSnapshot, kNumRoles> stats_snapshot() const;
 
  private:
   StoragePlan() = default;

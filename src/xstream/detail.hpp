@@ -1,0 +1,247 @@
+// Shared building blocks of the streaming engines.
+//
+// xstream::run (the untrimmed X-Stream baseline) and core::run (the
+// FastBFS trimming engine) execute the same synchronous rounds over the
+// same on-device layout: per-partition state files, per-partition
+// update streams shuffled in place, a final id-order state collection.
+// Everything the two loops share verbatim — the init pass, the update
+// fan-out, the gather (+ apply) phase, record stream helpers, file
+// naming, per-round stats — lives here, so the engines differ only in
+// their scatter loop (core adds the stay stream; engine headers say
+// "change both or neither" about the round semantics, and sharing the
+// code is how that stays true).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/check.hpp"
+#include "graph/partitioner.hpp"
+#include "graph/program.hpp"
+#include "storage/reader_factory.hpp"
+#include "storage/storage_plan.hpp"
+#include "storage/stream.hpp"
+
+namespace fbfs::xstream {
+
+/// Byte traffic of one stream role over one iteration.
+struct RoleIo {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+struct IterationStats {
+  std::uint32_t iteration = 0;             // 0-based round index
+  std::uint32_t partitions_scattered = 0;  // partitions not skipped
+  std::uint32_t partitions_skipped = 0;    // no active source in range
+  std::uint64_t updates_emitted = 0;
+  std::uint64_t activated = 0;  // vertices active entering the next round
+  double seconds = 0.0;
+  /// Per-role device-counter deltas over this round, indexed by
+  /// io::Role — how trimming's read-volume cut shows up per iteration.
+  /// Exact per role when the plan's roles are dedicated(); roles that
+  /// share a device all surface the shared device's counters.
+  std::array<RoleIo, io::kNumRoles> io{};
+
+  const RoleIo& role_io(io::Role role) const {
+    return io[static_cast<std::size_t>(role)];
+  }
+};
+
+/// On-device file names (rounds overwrite in place).
+std::string state_file_name(const graph::PartitionedGraph& pg,
+                            std::uint32_t p);
+std::string update_file_name(const graph::PartitionedGraph& pg,
+                             std::uint32_t p);
+
+namespace detail {
+
+void log_iteration(const char* program, const IterationStats& stats);
+
+template <typename T>
+std::vector<T> read_records(io::Device& device, const std::string& name,
+                            const io::ReaderOptions& opts,
+                            std::uint64_t expected) {
+  auto reader = io::open_record_reader<T>(device, name, opts);
+  std::vector<T> out;
+  out.reserve(expected);
+  for (auto batch = reader->next_batch(); !batch.empty();
+       batch = reader->next_batch()) {
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  FB_CHECK_MSG(out.size() == expected,
+               name << " holds " << out.size() << " records, expected "
+                    << expected);
+  return out;
+}
+
+template <typename T>
+void write_records(io::Device& device, const std::string& name,
+                   std::span<const T> records, std::size_t buffer_bytes) {
+  auto file = device.open(name, /*truncate=*/true);
+  io::RecordWriter<T> writer(*file, buffer_bytes);
+  writer.append_batch(records);
+  writer.flush();
+}
+
+/// Fills stats.io with the per-role deltas accumulated since `before`
+/// (a plan.stats_snapshot() taken at the start of the round).
+inline void capture_role_deltas(
+    const io::StoragePlan& plan,
+    const std::array<io::IoStatsSnapshot, io::kNumRoles>& before,
+    IterationStats& stats) {
+  const auto now = plan.stats_snapshot();
+  for (std::size_t r = 0; r < io::kNumRoles; ++r) {
+    stats.io[r].bytes_read = now[r].bytes_read - before[r].bytes_read;
+    stats.io[r].bytes_written = now[r].bytes_written - before[r].bytes_written;
+  }
+}
+
+/// The init pass: one scan per partition builds local out-degrees off
+/// the partition's own edge file, runs program.init over its vertex
+/// range, writes its state file, and marks the initially-active
+/// vertices in `active`.
+template <graph::GraphProgram P>
+void init_partition_states(const graph::PartitionedGraph& pg,
+                           const io::StoragePlan& plan,
+                           const io::ReaderOptions& reader,
+                           std::size_t write_buffer_bytes, const P& program,
+                           AtomicBitmap& active) {
+  using State = typename P::State;
+  const graph::PartitionLayout& layout = pg.layout;
+  for (std::uint32_t p = 0; p < layout.num_partitions(); ++p) {
+    const graph::VertexId begin = layout.begin(p);
+    std::vector<std::uint32_t> degrees(layout.size(p), 0);
+    auto edges = io::open_record_reader<graph::Edge>(
+        plan.edges(), pg.partition_file(p), reader);
+    for (auto batch = edges->next_batch(); !batch.empty();
+         batch = edges->next_batch()) {
+      for (const graph::Edge& e : batch) {
+        FB_CHECK_MSG(layout.owner(e.src) == p,
+                     "edge source " << e.src << " misfiled into partition "
+                                    << p << " of " << pg.meta.name);
+        ++degrees[e.src - begin];
+      }
+    }
+    std::vector<State> states(layout.size(p));
+    for (std::uint64_t i = 0; i < states.size(); ++i) {
+      const graph::VertexId v = begin + static_cast<graph::VertexId>(i);
+      bool is_active = false;
+      program.init(v, degrees[i], states[i], is_active);
+      if (is_active) active.set(v);
+    }
+    write_records<State>(plan.state(), state_file_name(pg, p), states,
+                         write_buffer_bytes);
+  }
+}
+
+/// P update writers held open across one scatter phase; writer q
+/// receives every update addressed into partition q, in source-partition
+/// order.
+template <typename Update>
+struct UpdateFanout {
+  std::vector<std::unique_ptr<io::File>> files;
+  std::vector<std::unique_ptr<io::RecordWriter<Update>>> writers;
+
+  void append(std::uint32_t q, const Update& u) { writers[q]->append(u); }
+
+  /// Flushes all writers and records each partition's pending update
+  /// count; returns the total emitted this phase.
+  std::uint64_t close(std::vector<std::uint64_t>& pending_updates) {
+    std::uint64_t total = 0;
+    for (std::uint32_t q = 0; q < writers.size(); ++q) {
+      writers[q]->flush();
+      pending_updates[q] = writers[q]->records_appended();
+      total += pending_updates[q];
+    }
+    return total;
+  }
+};
+
+template <typename Update>
+UpdateFanout<Update> open_update_fanout(const graph::PartitionedGraph& pg,
+                                        const io::StoragePlan& plan,
+                                        std::size_t write_buffer_bytes) {
+  const std::uint32_t num_partitions = pg.layout.num_partitions();
+  const std::size_t update_buffer = std::max<std::size_t>(
+      sizeof(Update), write_buffer_bytes / num_partitions);
+  UpdateFanout<Update> fanout;
+  for (std::uint32_t q = 0; q < num_partitions; ++q) {
+    fanout.files.push_back(
+        plan.updates().open(update_file_name(pg, q), /*truncate=*/true));
+    fanout.writers.push_back(std::make_unique<io::RecordWriter<Update>>(
+        *fanout.files[q], update_buffer));
+  }
+  return fanout;
+}
+
+/// Gather (+ apply): partitions with no pending updates keep their
+/// state file untouched unless the program applies every round.
+template <graph::GraphProgram P>
+void gather_partitions(const graph::PartitionedGraph& pg,
+                       const io::StoragePlan& plan,
+                       const io::ReaderOptions& reader,
+                       std::size_t write_buffer_bytes, const P& program,
+                       const std::vector<std::uint64_t>& pending_updates,
+                       AtomicBitmap& next_active) {
+  using State = typename P::State;
+  using Update = typename P::Update;
+  const graph::PartitionLayout& layout = pg.layout;
+  for (std::uint32_t q = 0; q < layout.num_partitions(); ++q) {
+    if (pending_updates[q] == 0 && !P::kNeedsApply) continue;
+    const graph::VertexId begin = layout.begin(q);
+    std::vector<State> states = read_records<State>(
+        plan.state(), state_file_name(pg, q), reader, layout.size(q));
+    if (pending_updates[q] > 0) {
+      auto updates = io::open_record_reader<Update>(
+          plan.updates(), update_file_name(pg, q), reader);
+      for (auto batch = updates->next_batch(); !batch.empty();
+           batch = updates->next_batch()) {
+        for (const Update& u : batch) {
+          FB_CHECK_MSG(layout.owner(u.dst) == q,
+                       "update target " << u.dst
+                                        << " misrouted into partition " << q
+                                        << " of " << pg.meta.name);
+          if (program.gather(u, states[u.dst - begin])) {
+            next_active.set(u.dst);
+          }
+        }
+      }
+    }
+    if constexpr (P::kNeedsApply) {
+      for (std::uint64_t i = 0; i < states.size(); ++i) {
+        program.apply(begin + static_cast<graph::VertexId>(i), states[i]);
+      }
+    }
+    write_records<State>(plan.state(), state_file_name(pg, q), states,
+                         write_buffer_bytes);
+  }
+}
+
+/// Reads the final per-partition state files back in id order.
+template <graph::GraphProgram P>
+std::vector<typename P::State> collect_states(
+    const graph::PartitionedGraph& pg, const io::StoragePlan& plan,
+    const io::ReaderOptions& reader) {
+  using State = typename P::State;
+  std::vector<State> out;
+  out.reserve(pg.layout.num_vertices());
+  for (std::uint32_t p = 0; p < pg.layout.num_partitions(); ++p) {
+    const std::vector<State> states = read_records<State>(
+        plan.state(), state_file_name(pg, p), reader, pg.layout.size(p));
+    out.insert(out.end(), states.begin(), states.end());
+  }
+  return out;
+}
+
+/// Removes the run's state and update files from their role devices.
+void remove_run_files(const graph::PartitionedGraph& pg,
+                      const io::StoragePlan& plan);
+
+}  // namespace detail
+}  // namespace fbfs::xstream

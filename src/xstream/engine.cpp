@@ -1,6 +1,7 @@
 #include "xstream/engine.hpp"
 
 #include "common/log.hpp"
+#include "xstream/detail.hpp"
 
 namespace fbfs::xstream {
 
@@ -38,9 +39,20 @@ namespace detail {
 
 void log_iteration(const char* program, const IterationStats& stats) {
   FB_LOG_DEBUG << program << " round " << stats.iteration << ": "
-               << stats.partitions_scattered << " partitions scattered, "
+               << stats.partitions_scattered << " partitions scattered ("
+               << stats.partitions_skipped << " skipped), "
                << stats.updates_emitted << " updates, " << stats.activated
                << " active next, " << stats.seconds << " s";
+}
+
+void remove_run_files(const graph::PartitionedGraph& pg,
+                      const io::StoragePlan& plan) {
+  for (std::uint32_t p = 0; p < pg.layout.num_partitions(); ++p) {
+    plan.state().remove(state_file_name(pg, p));
+    if (plan.updates().exists(update_file_name(pg, p))) {
+      plan.updates().remove(update_file_name(pg, p));
+    }
+  }
 }
 
 }  // namespace detail

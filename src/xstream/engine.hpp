@@ -1,5 +1,5 @@
 // The streaming-partition scatter/gather engine (ROADMAP item 2): the
-// X-Stream baseline FastBFS's trimming core (PR 4) plugs into.
+// X-Stream baseline FastBFS's trimming core (src/core) plugs into.
 //
 // The graph lives on disk as P partition edge files (partitioner.hpp:
 // partition p owns the vertex range [begin(p), end(p)) and holds the
@@ -23,16 +23,16 @@
 // Round accounting and stop rules are EXACTLY inmem::run's (see that
 // header; change both or neither) — that contract plus order-free
 // gathers is why both engines produce bit-identical states at any
-// partition count and either reader mode.
+// partition count and either reader mode. The init pass, the update
+// fan-out, and the whole gather phase are shared with core::run through
+// xstream/detail.hpp; this engine's own code is just the plain scatter
+// loop.
 //
 // Devices come from a StoragePlan: edges / state / updates are separate
 // roles, so the paper's dual-disk placement is one plan away.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <memory>
-#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,7 +45,7 @@
 #include "graph/program.hpp"
 #include "storage/reader_factory.hpp"
 #include "storage/storage_plan.hpp"
-#include "storage/stream.hpp"
+#include "xstream/detail.hpp"
 
 namespace fbfs::xstream {
 
@@ -69,20 +69,6 @@ EngineOptions engine_options_from_config(const Config& config);
 std::uint32_t partition_count_from_config(const Config& config,
                                           std::uint32_t fallback);
 
-/// On-device file names (rounds overwrite in place).
-std::string state_file_name(const graph::PartitionedGraph& pg,
-                            std::uint32_t p);
-std::string update_file_name(const graph::PartitionedGraph& pg,
-                             std::uint32_t p);
-
-struct IterationStats {
-  std::uint32_t iteration = 0;            // 0-based round index
-  std::uint32_t partitions_scattered = 0;  // partitions not skipped
-  std::uint64_t updates_emitted = 0;
-  std::uint64_t activated = 0;  // vertices active entering the next round
-  double seconds = 0.0;
-};
-
 template <graph::GraphProgram P>
 struct RunResult {
   std::vector<typename P::State> states;  // all vertices, in id order
@@ -90,38 +76,6 @@ struct RunResult {
   std::uint64_t updates_emitted = 0;
   std::vector<IterationStats> per_iteration;
 };
-
-namespace detail {
-
-void log_iteration(const char* program, const IterationStats& stats);
-
-template <typename T>
-std::vector<T> read_records(io::Device& device, const std::string& name,
-                            const io::ReaderOptions& opts,
-                            std::uint64_t expected) {
-  auto reader = io::open_record_reader<T>(device, name, opts);
-  std::vector<T> out;
-  out.reserve(expected);
-  for (auto batch = reader->next_batch(); !batch.empty();
-       batch = reader->next_batch()) {
-    out.insert(out.end(), batch.begin(), batch.end());
-  }
-  FB_CHECK_MSG(out.size() == expected,
-               name << " holds " << out.size() << " records, expected "
-                    << expected);
-  return out;
-}
-
-template <typename T>
-void write_records(io::Device& device, const std::string& name,
-                   std::span<const T> records, std::size_t buffer_bytes) {
-  auto file = device.open(name, /*truncate=*/true);
-  io::RecordWriter<T> writer(*file, buffer_bytes);
-  writer.append_batch(records);
-  writer.flush();
-}
-
-}  // namespace detail
 
 template <graph::GraphProgram P>
 RunResult<P> run(const graph::PartitionedGraph& pg,
@@ -141,40 +95,8 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   AtomicBitmap active(n);
   AtomicBitmap next_active(n);
 
-  // ---- init: one pass per partition builds local out-degrees off the
-  // partition's own edge file, then writes its state file.
-  for (std::uint32_t p = 0; p < num_partitions; ++p) {
-    const graph::VertexId begin = layout.begin(p);
-    std::vector<std::uint32_t> degrees(layout.size(p), 0);
-    auto edges = io::open_record_reader<graph::Edge>(
-        plan.edges(), pg.partition_file(p), options.reader);
-    for (auto batch = edges->next_batch(); !batch.empty();
-         batch = edges->next_batch()) {
-      for (const graph::Edge& e : batch) {
-        FB_CHECK_MSG(layout.owner(e.src) == p,
-                     "edge source " << e.src << " misfiled into partition "
-                                    << p << " of " << pg.meta.name);
-        ++degrees[e.src - begin];
-      }
-    }
-    std::vector<State> states(layout.size(p));
-    for (std::uint64_t i = 0; i < states.size(); ++i) {
-      const graph::VertexId v = begin + static_cast<graph::VertexId>(i);
-      bool is_active = false;
-      program.init(v, degrees[i], states[i], is_active);
-      if (is_active) active.set(v);
-    }
-    detail::write_records<State>(plan.state(), state_file_name(pg, p),
-                                 states, options.write_buffer_bytes);
-  }
-
-  const auto range_has_active = [&](std::uint32_t p) {
-    if (P::kScatterAllVertices) return true;
-    for (graph::VertexId v = layout.begin(p); v < layout.end(p); ++v) {
-      if (active.test(v)) return true;
-    }
-    return false;
-  };
+  detail::init_partition_states(pg, plan, options.reader,
+                                options.write_buffer_bytes, program, active);
 
   // ---- rounds. Stop rules mirror inmem::run exactly.
   std::vector<std::uint64_t> pending_updates(num_partitions, 0);
@@ -182,23 +104,18 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     Stopwatch round_clock;
     IterationStats stats;
     stats.iteration = result.iterations;
+    const auto io_before = plan.stats_snapshot();
 
-    // Scatter: P update writers stay open across all source partitions;
-    // writer q receives every update addressed into partition q, in
-    // source-partition order.
+    // Scatter.
     {
-      const std::size_t update_buffer = std::max<std::size_t>(
-          sizeof(Update), options.write_buffer_bytes / num_partitions);
-      std::vector<std::unique_ptr<io::File>> update_files;
-      std::vector<std::unique_ptr<io::RecordWriter<Update>>> update_writers;
-      for (std::uint32_t q = 0; q < num_partitions; ++q) {
-        update_files.push_back(
-            plan.updates().open(update_file_name(pg, q), /*truncate=*/true));
-        update_writers.push_back(std::make_unique<io::RecordWriter<Update>>(
-            *update_files[q], update_buffer));
-      }
+      auto fanout = detail::open_update_fanout<Update>(
+          pg, plan, options.write_buffer_bytes);
       for (std::uint32_t p = 0; p < num_partitions; ++p) {
-        if (!range_has_active(p)) continue;
+        if (!P::kScatterAllVertices &&
+            !active.any_in_range(layout.begin(p), layout.end(p))) {
+          ++stats.partitions_skipped;
+          continue;
+        }
         ++stats.partitions_scattered;
         const graph::VertexId begin = layout.begin(p);
         const std::vector<State> states = detail::read_records<State>(
@@ -212,78 +129,35 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
             if (!P::kScatterAllVertices && !active.test(e.src)) continue;
             Update u;
             if (program.scatter(e, states[e.src - begin], u)) {
-              update_writers[layout.owner(u.dst)]->append(u);
+              fanout.append(layout.owner(u.dst), u);
             }
           }
         }
       }
-      for (std::uint32_t q = 0; q < num_partitions; ++q) {
-        update_writers[q]->flush();
-        pending_updates[q] = update_writers[q]->records_appended();
-        stats.updates_emitted += pending_updates[q];
-      }
+      stats.updates_emitted = fanout.close(pending_updates);
     }
     if (stats.updates_emitted == 0 && !P::kScatterAllVertices) break;
     result.updates_emitted += stats.updates_emitted;
 
-    // Gather (+ apply): partitions with no pending updates keep their
-    // state file untouched unless the program applies every round.
     next_active.reset();
-    for (std::uint32_t q = 0; q < num_partitions; ++q) {
-      if (pending_updates[q] == 0 && !P::kNeedsApply) continue;
-      const graph::VertexId begin = layout.begin(q);
-      std::vector<State> states = detail::read_records<State>(
-          plan.state(), state_file_name(pg, q), options.reader,
-          layout.size(q));
-      if (pending_updates[q] > 0) {
-        auto updates = io::open_record_reader<Update>(
-            plan.updates(), update_file_name(pg, q), options.reader);
-        for (auto batch = updates->next_batch(); !batch.empty();
-             batch = updates->next_batch()) {
-          for (const Update& u : batch) {
-            FB_CHECK_MSG(layout.owner(u.dst) == q,
-                         "update target " << u.dst
-                                          << " misrouted into partition "
-                                          << q << " of " << pg.meta.name);
-            if (program.gather(u, states[u.dst - begin])) {
-              next_active.set(u.dst);
-            }
-          }
-        }
-      }
-      if constexpr (P::kNeedsApply) {
-        for (std::uint64_t i = 0; i < states.size(); ++i) {
-          program.apply(begin + static_cast<graph::VertexId>(i), states[i]);
-        }
-      }
-      detail::write_records<State>(plan.state(), state_file_name(pg, q),
-                                   states, options.write_buffer_bytes);
-    }
+    detail::gather_partitions(pg, plan, options.reader,
+                              options.write_buffer_bytes, program,
+                              pending_updates, next_active);
 
     ++result.iterations;
     std::swap(active, next_active);
     stats.activated = active.count_set();
     stats.seconds = round_clock.seconds();
+    detail::capture_role_deltas(plan, io_before, stats);
     detail::log_iteration(P::kName, stats);
     result.per_iteration.push_back(stats);
     if (!P::kScatterAllVertices && !active.any()) break;
   }
 
   // ---- collect the final states (id order) and tidy the devices.
-  result.states.reserve(n);
-  for (std::uint32_t p = 0; p < num_partitions; ++p) {
-    const std::vector<State> states = detail::read_records<State>(
-        plan.state(), state_file_name(pg, p), options.reader,
-        layout.size(p));
-    result.states.insert(result.states.end(), states.begin(), states.end());
-  }
+  result.states = detail::collect_states<P>(pg, plan, options.reader);
   if (!options.keep_files) {
-    for (std::uint32_t p = 0; p < num_partitions; ++p) {
-      plan.state().remove(state_file_name(pg, p));
-      if (plan.updates().exists(update_file_name(pg, p))) {
-        plan.updates().remove(update_file_name(pg, p));
-      }
-    }
+    detail::remove_run_files(pg, plan);
   }
   return result;
 }

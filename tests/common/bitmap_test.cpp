@@ -43,6 +43,59 @@ TEST(AtomicBitmap, TestAndSetReturnsPrevious) {
   EXPECT_TRUE(bm.test(3));
 }
 
+// The engines' partition probe. Boundary words are where the masking
+// can go wrong: ranges starting/ending mid-word, on word edges, and
+// spanning full interior words must all agree with a bit-by-bit scan.
+TEST(AtomicBitmap, AnyInRangeMatchesBitwiseScan) {
+  AtomicBitmap bm(200);
+  EXPECT_FALSE(bm.any_in_range(0, 200));
+  EXPECT_FALSE(bm.any_in_range(0, 0));
+  EXPECT_FALSE(bm.any_in_range(200, 200));
+
+  for (const std::uint64_t bit : {0ull, 63ull, 64ull, 127ull, 128ull, 199ull}) {
+    AtomicBitmap one(200);
+    one.set(bit);
+    for (std::uint64_t begin = 0; begin <= 200; ++begin) {
+      for (const std::uint64_t end :
+           {begin, begin + 1, begin + 63, begin + 64, begin + 65,
+            std::uint64_t{200}}) {
+        if (end < begin || end > 200) continue;
+        const bool want = bit >= begin && bit < end;
+        EXPECT_EQ(one.any_in_range(begin, end), want)
+            << "bit=" << bit << " [" << begin << "," << end << ")";
+      }
+    }
+  }
+}
+
+TEST(AtomicBitmap, AnyInRangeWithinOneWord) {
+  AtomicBitmap bm(64);
+  bm.set(10);
+  EXPECT_TRUE(bm.any_in_range(10, 11));
+  EXPECT_TRUE(bm.any_in_range(0, 64));
+  EXPECT_FALSE(bm.any_in_range(0, 10));
+  EXPECT_FALSE(bm.any_in_range(11, 64));
+  EXPECT_FALSE(bm.any_in_range(10, 10));
+}
+
+TEST(AtomicBitmap, OrWithAccumulates) {
+  AtomicBitmap retired(130);
+  AtomicBitmap frontier(130);
+  retired.set(5);
+  frontier.set(63);
+  frontier.set(64);
+  frontier.set(129);
+  retired.or_with(frontier);
+  EXPECT_TRUE(retired.test(5));
+  EXPECT_TRUE(retired.test(63));
+  EXPECT_TRUE(retired.test(64));
+  EXPECT_TRUE(retired.test(129));
+  EXPECT_EQ(retired.count_set(), 4u);
+  // The source is untouched.
+  EXPECT_FALSE(frontier.test(5));
+  EXPECT_EQ(frontier.count_set(), 3u);
+}
+
 // The BFS-claim contract: when several threads race test_and_set on the
 // same bits, each bit is won exactly once.
 TEST(AtomicBitmap, ConcurrentClaimIsExclusive) {

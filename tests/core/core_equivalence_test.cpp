@@ -1,0 +1,226 @@
+// The acceptance suite for the FastBFS engine: every program, on every
+// generator family, must produce BIT-IDENTICAL results from core::run
+// and the in-memory reference — at multiple partition counts, with
+// trimming off, trimming on, and trimming on with a zero grace timeout
+// (the swap is refused whenever the stream has not already committed,
+// exercising the cancellation/fallback path mid-matrix). Trimming is a
+// pure I/O-volume optimisation; if it changes a bit, it is a bug.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/temp_dir.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "inmem/engine.hpp"
+
+namespace fbfs {
+namespace {
+
+using graph::BfsProgram;
+using graph::GraphMeta;
+using graph::PageRankProgram;
+using graph::SsspProgram;
+using graph::VertexId;
+using graph::WccProgram;
+
+GraphMeta materialize(io::Device& dev, const std::string& name,
+                      const graph::ChunkedEdgeSource& source) {
+  return graph::write_generated(
+      dev, name, source.num_vertices(), source.seed(), source.undirected(),
+      [&](const graph::EdgeSink& sink) { source.generate(sink); });
+}
+
+GraphMeta rmat_meta(io::Device& dev) {
+  return materialize(dev, "rmat",
+                     graph::RmatSource({.scale = 9, .edge_factor = 8,
+                                        .seed = 7}));
+}
+
+GraphMeta er_meta(io::Device& dev) {
+  return materialize(dev, "er",
+                     graph::ErdosRenyiSource({.num_vertices = 1000,
+                                              .num_edges = 8000, .seed = 11}));
+}
+
+GraphMeta grid_meta(io::Device& dev) {
+  return materialize(dev, "grid",
+                     graph::Grid2dSource({.width = 24, .height = 24}));
+}
+
+struct TrimConfig {
+  const char* tag;
+  bool trim;
+  double grace_seconds;
+};
+
+constexpr TrimConfig kTrimConfigs[] = {
+    {"trim-off", false, 5.0},
+    {"trim-on", true, 5.0},
+    // Zero grace: every pending stream still active at the next scan of
+    // its partition is cancelled and the previous input reused.
+    {"trim-on-zero-grace", true, 0.0},
+};
+
+template <graph::GraphProgram P>
+void expect_equivalent(io::Device& dev, const GraphMeta& meta,
+                       const P& program,
+                       std::uint32_t max_iterations = 1'000'000) {
+  const auto reference =
+      inmem::run_graph(dev, meta, program, {.max_iterations = max_iterations});
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  for (const std::uint32_t parts : {2u, 5u}) {
+    const graph::PartitionedGraph pg =
+        graph::partition_edge_list(plan, meta, parts);
+    for (const TrimConfig& cfg : kTrimConfigs) {
+      SCOPED_TRACE(std::string(P::kName) + " on " + meta.name + ", P=" +
+                   std::to_string(parts) + ", " + cfg.tag);
+      core::EngineOptions options;
+      options.max_iterations = max_iterations;
+      options.trim = cfg.trim;
+      options.grace_timeout_seconds = cfg.grace_seconds;
+      const auto streamed = core::run(pg, plan, program, options);
+
+      ASSERT_EQ(streamed.iterations, reference.iterations);
+      ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
+      ASSERT_EQ(streamed.states.size(), reference.states.size());
+      ASSERT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
+                            streamed.states.size() * sizeof(typename P::State)),
+                0);
+      for (VertexId v = 0; v < streamed.states.size(); ++v) {
+        const auto want = program.output(v, reference.states[v]);
+        const auto got = program.output(v, streamed.states[v]);
+        ASSERT_EQ(std::memcmp(&want, &got, sizeof(want)), 0) << "vertex " << v;
+      }
+      if (!cfg.trim || !P::kTrimmable) {
+        ASSERT_EQ(streamed.trims_started, 0u);
+      } else if (streamed.iterations > 1) {
+        // The eager default really trims on multi-round trimmable runs.
+        ASSERT_GT(streamed.trims_started, 0u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- BFS
+
+TEST(CoreEquivalence, BfsOnRmat) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, rmat_meta(dev), BfsProgram{.root = 0});
+}
+
+TEST(CoreEquivalence, BfsOnErdosRenyi) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, er_meta(dev), BfsProgram{.root = 3});
+}
+
+TEST(CoreEquivalence, BfsOnGrid) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, grid_meta(dev), BfsProgram{.root = 0});
+}
+
+// ---------------------------------------------------------------- WCC
+
+TEST(CoreEquivalence, WccOnRmatSymmetrized) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta sym =
+      graph::symmetrize_edge_list(dev, rmat_meta(dev), "rmat_sym");
+  expect_equivalent(dev, sym, WccProgram{});
+}
+
+TEST(CoreEquivalence, WccOnErdosRenyiSymmetrized) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta sym =
+      graph::symmetrize_edge_list(dev, er_meta(dev), "er_sym");
+  expect_equivalent(dev, sym, WccProgram{});
+}
+
+TEST(CoreEquivalence, WccOnGrid) {
+  // The lattice generator already emits both directions.
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, grid_meta(dev), WccProgram{});
+}
+
+// --------------------------------------------------------------- SSSP
+
+TEST(CoreEquivalence, SsspOnRmat) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, rmat_meta(dev), SsspProgram{.root = 0});
+}
+
+TEST(CoreEquivalence, SsspOnErdosRenyi) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, er_meta(dev), SsspProgram{.root = 3});
+}
+
+TEST(CoreEquivalence, SsspOnGrid) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_equivalent(dev, grid_meta(dev), SsspProgram{.root = 0});
+}
+
+// ----------------------------------------------------------- PageRank
+
+TEST(CoreEquivalence, PageRankOnRmat) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = rmat_meta(dev);
+  expect_equivalent(dev, meta,
+                    PageRankProgram{.num_vertices = meta.num_vertices},
+                    /*max_iterations=*/5);
+}
+
+TEST(CoreEquivalence, PageRankOnErdosRenyi) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = er_meta(dev);
+  expect_equivalent(dev, meta,
+                    PageRankProgram{.num_vertices = meta.num_vertices},
+                    /*max_iterations=*/5);
+}
+
+TEST(CoreEquivalence, PageRankOnGrid) {
+  TempDir dir("core_equiv");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = grid_meta(dev);
+  expect_equivalent(dev, meta,
+                    PageRankProgram{.num_vertices = meta.num_vertices},
+                    /*max_iterations=*/5);
+}
+
+// --------------------------------------------------- device placement
+
+TEST(CoreEquivalence, DualPlanRoutesStayTrafficToAux) {
+  // dual() puts updates AND stay on the aux device; trimming must not
+  // change a byte, and the stay stream must actually land on aux.
+  TempDir dir("core_equiv");
+  io::Device main_dev(dir.str() + "/main", io::DeviceModel::unthrottled());
+  io::Device aux_dev(dir.str() + "/aux", io::DeviceModel::unthrottled());
+  const GraphMeta meta = rmat_meta(main_dev);
+  const auto reference = inmem::run_graph(main_dev, meta, BfsProgram{});
+
+  const io::StoragePlan plan = io::StoragePlan::dual(main_dev, aux_dev);
+  const graph::PartitionedGraph pg =
+      graph::partition_edge_list(plan, meta, 4);
+  const auto streamed = core::run(pg, plan, BfsProgram{}, {});
+  ASSERT_EQ(streamed.states.size(), reference.states.size());
+  EXPECT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
+                        streamed.states.size() *
+                            sizeof(BfsProgram::State)),
+            0);
+  EXPECT_EQ(streamed.iterations, reference.iterations);
+  EXPECT_GT(streamed.trims_started, 0u);
+  EXPECT_GT(aux_dev.stats().bytes_written(), 0u);
+}
+
+}  // namespace
+}  // namespace fbfs

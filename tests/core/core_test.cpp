@@ -1,0 +1,292 @@
+// Mechanics of the FastBFS engine: trim life cycle (stream → grace →
+// swap/cancel), trim triggers, selective scheduling, fault fallback,
+// config plumbing, and file hygiene. Bit-identity against the reference
+// engine across the full matrix lives in core_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/temp_dir.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "inmem/engine.hpp"
+#include "xstream/engine.hpp"
+
+namespace fbfs {
+namespace {
+
+using graph::BfsProgram;
+using graph::GraphMeta;
+using graph::PartitionedGraph;
+using graph::WccProgram;
+using graph::partition_edge_list;
+
+GraphMeta chain_graph(io::Device& dev, std::uint64_t n) {
+  // 0 -> 1 -> ... -> n-1.
+  return graph::write_generated(
+      dev, "chain", n, 1, /*undirected=*/false,
+      [&](const graph::EdgeSink& sink) {
+        for (graph::VertexId v = 0; v + 1 < n; ++v) {
+          sink({v, v + 1});
+        }
+      });
+}
+
+GraphMeta rmat_graph(io::Device& dev) {
+  const graph::RmatSource source({.scale = 9, .edge_factor = 8, .seed = 7});
+  return graph::write_generated(
+      dev, "rmat", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const graph::EdgeSink& sink) { source.generate(sink); });
+}
+
+/// Four devices, one per role — byte attribution is exact for all of
+/// them (StoragePlan::dedicated).
+struct DedicatedRig {
+  TempDir dir;
+  io::Device edges, state, updates, stay;
+  io::StoragePlan plan;
+
+  explicit DedicatedRig(const io::DeviceModel& model =
+                            io::DeviceModel::unthrottled())
+      : dir("core"),
+        edges(dir.str() + "/edges", model),
+        state(dir.str() + "/state", model),
+        updates(dir.str() + "/updates", model),
+        stay(dir.str() + "/stay", model),
+        plan(io::StoragePlan::single(edges)
+                 .assign(io::Role::kState, state)
+                 .assign(io::Role::kUpdates, updates)
+                 .assign(io::Role::kStay, stay)) {}
+};
+
+std::uint64_t edge_input_bytes_read(
+    const std::vector<core::IterationStats>& rounds) {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) {
+    total += r.role_io(io::Role::kEdges).bytes_read +
+             r.role_io(io::Role::kStay).bytes_read;
+  }
+  return total;
+}
+
+TEST(CoreEngine, EngineOptionsComeFromConfigKeys) {
+  const Config config = Config::parse_string(
+      "core.write_buffer = 256K\n"
+      "core.max_iterations = 12\n"
+      "core.trim = false\n"
+      "core.selective = false\n"
+      "core.trim_start_round = 3\n"
+      "core.trim_min_frontier_fraction = 0.25\n"
+      "core.trim_min_dead_fraction = 0.5\n"
+      "core.grace_timeout = 1.5\n"
+      "core.stay_buffer = 64K\n"
+      "core.stay_pool_buffers = 8\n"
+      "core.partition_count = 6\n");
+
+  const core::EngineOptions opts = core::engine_options_from_config(config);
+  EXPECT_EQ(opts.write_buffer_bytes, 256u * 1024);
+  EXPECT_EQ(opts.max_iterations, 12u);
+  EXPECT_FALSE(opts.trim);
+  EXPECT_FALSE(opts.selective);
+  EXPECT_EQ(opts.trim_start_round, 3u);
+  EXPECT_DOUBLE_EQ(opts.trim_min_frontier_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(opts.trim_min_dead_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(opts.grace_timeout_seconds, 1.5);
+  EXPECT_EQ(opts.stay_buffer_bytes, 64u * 1024);
+  EXPECT_EQ(opts.stay_pool_buffers, 8u);
+  EXPECT_EQ(core::partition_count_from_config(config, 2), 6u);
+  EXPECT_EQ(core::partition_count_from_config(Config{}, 2), 2u);
+}
+
+TEST(CoreEngine, TrimmingCutsEdgeInputBytes) {
+  // The paper's headline mechanism: on a BFS over R-MAT, dropping dead
+  // edges from the per-partition inputs must shrink the bytes the edge
+  // scans read (edges role + stay role, both dedicated here).
+  DedicatedRig rig;
+  const GraphMeta meta = rmat_graph(rig.edges);
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 4);
+
+  core::EngineOptions trimmed;
+  trimmed.trim = true;
+  const auto with_trim = core::run(pg, rig.plan, BfsProgram{}, trimmed);
+
+  core::EngineOptions untrimmed;
+  untrimmed.trim = false;
+  const auto without = core::run(pg, rig.plan, BfsProgram{}, untrimmed);
+
+  ASSERT_GT(with_trim.trims_started, 0u);
+  ASSERT_GT(with_trim.trims_committed, 0u);
+  EXPECT_EQ(without.trims_started, 0u);
+  EXPECT_LT(edge_input_bytes_read(with_trim.per_iteration),
+            edge_input_bytes_read(without.per_iteration));
+  // Same answer either way.
+  ASSERT_EQ(with_trim.states.size(), without.states.size());
+  EXPECT_EQ(std::memcmp(with_trim.states.data(), without.states.data(),
+                        with_trim.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(CoreEngine, NonTrimmableProgramsNeverTrim) {
+  DedicatedRig rig;
+  const GraphMeta sym = graph::symmetrize_edge_list(
+      rig.edges, rmat_graph(rig.edges), "rmat_sym");
+  const PartitionedGraph pg = partition_edge_list(rig.plan, sym, 4);
+  core::EngineOptions options;
+  options.trim = true;  // requested, but WCC re-activates sources
+  const auto result = core::run(pg, rig.plan, WccProgram{}, options);
+  EXPECT_EQ(result.trims_started, 0u);
+  EXPECT_EQ(rig.stay.stats().bytes_written(), 0u);
+}
+
+TEST(CoreEngine, TrimTriggersGateEagerTrimming) {
+  DedicatedRig rig;
+  const GraphMeta meta = chain_graph(rig.edges, 40);
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 2);
+
+  // A chain's frontier is one vertex: a 10% frontier gate never opens.
+  core::EngineOptions gated;
+  gated.trim_min_frontier_fraction = 0.10;
+  const auto fraction_gated = core::run(pg, rig.plan, BfsProgram{}, gated);
+  EXPECT_EQ(fraction_gated.trims_started, 0u);
+
+  // A start round beyond the run's rounds never trims either.
+  core::EngineOptions late;
+  late.trim_start_round = 1000;
+  const auto started_late = core::run(pg, rig.plan, BfsProgram{}, late);
+  EXPECT_EQ(started_late.trims_started, 0u);
+
+  // A dead-fraction threshold waits until a scan has SEEN enough dead
+  // edges; partition 0 of the chain accumulates them round by round.
+  core::EngineOptions dead_gate;
+  dead_gate.trim_min_dead_fraction = 0.5;
+  const auto dead_gated = core::run(pg, rig.plan, BfsProgram{}, dead_gate);
+  EXPECT_GT(dead_gated.trims_started, 0u);
+  EXPECT_EQ(dead_gated.per_iteration.front().trims_started, 0u);
+}
+
+TEST(CoreEngine, SelectiveSchedulingSkipsQuietPartitions) {
+  DedicatedRig rig;
+  const GraphMeta meta = chain_graph(rig.edges, 40);
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 4);
+
+  core::EngineOptions selective;
+  const auto with_skip = core::run(pg, rig.plan, BfsProgram{}, selective);
+  std::uint64_t skipped = 0;
+  for (const auto& r : with_skip.per_iteration) skipped += r.partitions_skipped;
+  // A chain frontier lives in one partition at a time.
+  EXPECT_GT(skipped, 0u);
+
+  core::EngineOptions scan_all;
+  scan_all.selective = false;
+  const auto without = core::run(pg, rig.plan, BfsProgram{}, scan_all);
+  for (const auto& r : without.per_iteration) {
+    EXPECT_EQ(r.partitions_skipped, 0u);
+  }
+  ASSERT_EQ(with_skip.states.size(), without.states.size());
+  EXPECT_EQ(std::memcmp(with_skip.states.data(), without.states.data(),
+                        with_skip.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(CoreEngine, StayWriteFaultFallsBackToPreviousInput) {
+  // A dying stay disk mid-iteration must auto-cancel the stream, leave
+  // the previous input intact, and not change a single output bit.
+  DedicatedRig rig;
+  const GraphMeta meta = rmat_graph(rig.edges);
+  const auto reference = inmem::run_graph(rig.edges, meta, BfsProgram{});
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 4);
+  const std::string part0 = pg.partition_file(0);
+  const std::uint64_t part0_bytes = rig.edges.file_size(part0);
+
+  rig.stay.inject_write_faults(1'000'000);
+  core::EngineOptions options;
+  options.stay_buffer_bytes = 4096;  // force mid-scan flushes into faults
+  const auto result = core::run(pg, rig.plan, BfsProgram{}, options);
+
+  EXPECT_GT(result.trims_started, 0u);
+  EXPECT_EQ(result.trims_committed, 0u);
+  EXPECT_GT(result.trims_failed, 0u);
+  // Previous inputs untouched: the partition files still feed the run.
+  EXPECT_EQ(rig.edges.file_size(part0), part0_bytes);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_FALSE(rig.stay.exists(core::stay_file_name(pg, p)));
+    EXPECT_FALSE(rig.stay.exists(core::stay_file_name(pg, p) + ".wip"));
+  }
+  // Bit-identical to the reference despite the degradation.
+  ASSERT_EQ(result.states.size(), reference.states.size());
+  EXPECT_EQ(std::memcmp(result.states.data(), reference.states.data(),
+                        result.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(CoreEngine, GraceTimeoutCancelsAndFallsBack) {
+  // A stay device too slow to commit between consecutive scans of the
+  // same partition: with a zero grace the swap is always refused, every
+  // trim resolves as cancelled, and the previous input carries the run.
+  TempDir dir("core");
+  io::DeviceModel crawl;
+  crawl.name = "crawl";
+  // ~0.8 s modelled per 16 KiB survivor chunk, plus a 1.5 s seek on the
+  // first write to every fresh .wip: rounds on the unthrottled main
+  // device finish in microseconds, so no stream started in round r can
+  // commit before round r+1 resolves it — even when the survivor chunk
+  // is tiny and even on a loaded machine.
+  crawl.write_mb_s = 0.02;
+  crawl.seek_ns = 1'500'000'000;
+  io::Device fast(dir.str() + "/main", io::DeviceModel::unthrottled());
+  io::Device slow_stay(dir.str() + "/stay", crawl);
+  io::StoragePlan plan =
+      io::StoragePlan::single(fast).assign(io::Role::kStay, slow_stay);
+
+  const GraphMeta meta = rmat_graph(fast);
+  const auto reference = inmem::run_graph(fast, meta, BfsProgram{});
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 2);
+
+  core::EngineOptions options;
+  options.grace_timeout_seconds = 0.0;
+  const auto result = core::run(pg, plan, BfsProgram{}, options);
+
+  EXPECT_GT(result.trims_started, 0u);
+  EXPECT_GT(result.trims_cancelled, 0u);
+  ASSERT_EQ(result.states.size(), reference.states.size());
+  EXPECT_EQ(std::memcmp(result.states.data(), reference.states.data(),
+                        result.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(CoreEngine, CleansUpRunFilesUnlessKept) {
+  DedicatedRig rig;
+  const GraphMeta meta = rmat_graph(rig.edges);
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 2);
+
+  const auto scrubbed = core::run(pg, rig.plan, BfsProgram{}, {});
+  ASSERT_GT(scrubbed.trims_committed, 0u);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    EXPECT_FALSE(rig.state.exists(xstream::state_file_name(pg, p)));
+    EXPECT_FALSE(rig.updates.exists(xstream::update_file_name(pg, p)));
+    EXPECT_FALSE(rig.stay.exists(core::stay_file_name(pg, p)));
+  }
+
+  core::EngineOptions keep;
+  keep.keep_files = true;
+  const auto kept = core::run(pg, rig.plan, BfsProgram{}, keep);
+  ASSERT_GT(kept.trims_committed, 0u);
+  bool any_stay = false;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    EXPECT_TRUE(rig.state.exists(xstream::state_file_name(pg, p)));
+    any_stay = any_stay || rig.stay.exists(core::stay_file_name(pg, p));
+  }
+  EXPECT_TRUE(any_stay);
+}
+
+TEST(CoreEngine, StayFileNameEncodesPartitioning) {
+  DedicatedRig rig;
+  const GraphMeta meta = chain_graph(rig.edges, 8);
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 4);
+  EXPECT_EQ(core::stay_file_name(pg, 2), "chain.P4.stay2");
+}
+
+}  // namespace
+}  // namespace fbfs

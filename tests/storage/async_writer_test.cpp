@@ -258,6 +258,69 @@ TEST(AsyncWriter, ReleaseAutoCancelsAnActiveStream) {
   EXPECT_EQ(read_all(dev, "stay.bin"), data);
 }
 
+TEST(AsyncWriter, CancelRacingCommitReportsTheDiskTruth) {
+  // finish() then an immediate cancel() races the writer thread's
+  // commit sequence. Whichever side wins, the reported terminal state
+  // must match the disk: completed => the new bytes were renamed onto
+  // the target; cancelled => the previous version is untouched. A
+  // cancel that lands mid-commit is a no-op (the stream completes), so
+  // "cancelled but the target was replaced" can never be observed.
+  TempDir dir("aw");
+  Device dev = make_device(dir);
+  const std::vector<std::byte> previous = make_payload(64, 1);
+  write_file(dev, "stay.bin", previous);
+
+  AsyncWriter writer(256, 2);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<std::byte> fresh = make_payload(700, 100 + round);
+    const auto id = writer.begin_staged(dev, "stay.bin");
+    ASSERT_TRUE(writer.append(id, fresh));
+    writer.finish(id);
+    writer.cancel(id);  // races the in-flight commit
+    writer.wait_complete(id, 60.0);
+    const auto state = writer.state(id);
+    writer.release(id);
+
+    ASSERT_TRUE(state == AsyncWriter::StreamState::completed ||
+                state == AsyncWriter::StreamState::cancelled);
+    EXPECT_FALSE(dev.exists("stay.bin.wip"));
+    if (state == AsyncWriter::StreamState::completed) {
+      EXPECT_EQ(read_all(dev, "stay.bin"), fresh);
+      write_file(dev, "stay.bin", previous);  // reset for the next round
+    } else {
+      EXPECT_EQ(read_all(dev, "stay.bin"), previous);
+    }
+  }
+}
+
+TEST(AsyncWriter, ReleaseAfterFaultLeavesNoStragglerHazard) {
+  // A write fault acks the stream from the writer's data handler while
+  // later chunks of the same stream may still sit in the work queue;
+  // release() can then erase the slot before those are drained. The
+  // stragglers must be discarded quietly and their buffers returned —
+  // the writer thread keeps serving new streams afterwards.
+  TempDir dir("aw");
+  Device dev = make_device(dir);
+  const std::vector<std::byte> data = make_payload(8'000, 3);
+  for (int round = 0; round < 20; ++round) {
+    AsyncWriter writer(128, 2);  // 8000 bytes => ~62 queued data items
+    dev.inject_write_faults(1);
+    const auto id = writer.begin_staged(dev, "stay.bin");
+    writer.append(id, data);  // first flushed chunk trips the fault
+    writer.wait_complete(id, 60.0);
+    EXPECT_EQ(writer.state(id), AsyncWriter::StreamState::failed);
+    writer.release(id);
+
+    dev.inject_write_faults(0);
+    const auto id2 = writer.begin_staged(dev, "stay.bin");
+    ASSERT_TRUE(writer.append(id2, data));
+    writer.finish(id2);
+    ASSERT_TRUE(writer.wait_complete(id2, 60.0));
+    writer.release(id2);
+    EXPECT_EQ(read_all(dev, "stay.bin"), data);
+  }
+}
+
 TEST(AsyncWriter, DestructorAbandonsActiveStreamsSafely) {
   TempDir dir("aw");
   Device dev = make_device(dir);

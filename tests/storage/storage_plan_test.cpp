@@ -47,6 +47,38 @@ TEST(StoragePlan, AssignRepointsOneRole) {
   EXPECT_FALSE(plan.dedicated(Role::kUpdates));
 }
 
+TEST(StoragePlan, StatsSnapshotAttributesTrafficPerRole) {
+  // Two snapshots bracket a phase; the deltas are the phase's traffic,
+  // exact for dedicated roles.
+  TempDir dir("plan");
+  Device main(dir.str() + "/main", DeviceModel::unthrottled());
+  Device aux(dir.str() + "/aux", DeviceModel::unthrottled());
+  StoragePlan plan = StoragePlan::dual(main, aux);
+  plan.assign(Role::kStay, aux);
+
+  const auto before = plan.stats_snapshot();
+  const char payload[64] = {};
+  plan.stay().open("stay0", /*truncate=*/true)->append(payload, sizeof(payload));
+  auto file = plan.edges().open("edges0", /*truncate=*/true);
+  file->append(payload, sizeof(payload));
+  char buf[64];
+  file->read_at(0, buf, sizeof(buf));
+  const auto after = plan.stats_snapshot();
+
+  const auto delta = [&](Role role, auto member) {
+    const std::size_t r = static_cast<std::size_t>(role);
+    return after[r].*member - before[r].*member;
+  };
+  // edges and state share `main`: both see the edge write + read.
+  EXPECT_EQ(delta(Role::kEdges, &IoStatsSnapshot::bytes_written), 64u);
+  EXPECT_EQ(delta(Role::kEdges, &IoStatsSnapshot::bytes_read), 64u);
+  EXPECT_EQ(delta(Role::kState, &IoStatsSnapshot::bytes_written), 64u);
+  // updates and stay share `aux`: both see the stay write, no reads.
+  EXPECT_EQ(delta(Role::kStay, &IoStatsSnapshot::bytes_written), 64u);
+  EXPECT_EQ(delta(Role::kUpdates, &IoStatsSnapshot::bytes_written), 64u);
+  EXPECT_EQ(delta(Role::kStay, &IoStatsSnapshot::bytes_read), 0u);
+}
+
 TEST(StoragePlan, RoleNames) {
   EXPECT_STREQ(to_string(Role::kEdges), "edges");
   EXPECT_STREQ(to_string(Role::kState), "state");
