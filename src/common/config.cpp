@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace fbfs {
 
@@ -228,6 +229,21 @@ std::uint64_t Config::get_bytes(const std::string& key) const {
 std::uint64_t Config::get_bytes_or(const std::string& key,
                                    std::uint64_t fallback) const {
   return has(key) ? get_bytes(key) : fallback;
+}
+
+std::uint32_t Config::get_threads(const std::string& key) const {
+  const std::uint64_t requested = get_u64(key);
+  FB_CHECK_MSG(requested <= kMaxEngineThreads,
+               "config key " << key << " is not a sane thread count: "
+                             << requested << " (max " << kMaxEngineThreads
+                             << ", 0 = hardware concurrency)");
+  return resolve_thread_count(static_cast<std::uint32_t>(requested));
+}
+
+std::uint32_t Config::get_threads_or(const std::string& key,
+                                     std::uint32_t fallback) const {
+  if (has(key)) return get_threads(key);
+  return resolve_thread_count(fallback);
 }
 
 void Config::set_str(const std::string& key, const std::string& value) {

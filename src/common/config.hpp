@@ -65,6 +65,16 @@ class Config {
   std::uint64_t get_bytes_or(const std::string& key,
                              std::uint64_t fallback) const;
 
+  /// Worker-thread count (engine keys like `engine.num_threads`): an
+  /// unsigned integer where 0 means "one per hardware thread". The
+  /// returned value is always resolved to a concrete count >= 1. Aborts
+  /// on values above kMaxEngineThreads (512) — that is a typo, not a
+  /// machine. get_threads_or resolves the fallback through the same
+  /// rules.
+  std::uint32_t get_threads(const std::string& key) const;
+  std::uint32_t get_threads_or(const std::string& key,
+                               std::uint32_t fallback) const;
+
   void set_str(const std::string& key, const std::string& value);
   void set_u64(const std::string& key, std::uint64_t value);
   void set_f64(const std::string& key, double value);

@@ -1,0 +1,134 @@
+// Work-batching helpers over ThreadPool — the engines' execution mode.
+//
+// An ExecContext either borrows a pool (parallel scatter/gather) or
+// holds none (the serial path, byte-for-byte the single-threaded
+// engine). parallel_for_ranges splits an index range into contiguous
+// per-worker pieces; OrderedGate retires concurrently-produced chunk
+// results strictly in submission order — PR 2's byte-identical in-order
+// merge, extracted as a primitive so the scatter phase's update shuffle
+// and stay streams stay deterministic at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fbfs {
+
+/// Ceiling on any configured worker-thread count; anything above it is
+/// a config typo, not a machine (CHECK-fatal in resolve_thread_count
+/// and Config::get_threads).
+inline constexpr std::uint32_t kMaxEngineThreads = 512;
+
+/// 0 -> one worker per hardware thread (at least 1); otherwise the
+/// requested count. CHECK-fatal above kMaxEngineThreads.
+inline unsigned resolve_thread_count(std::uint32_t requested) {
+  FB_CHECK_MSG(requested <= kMaxEngineThreads,
+               "thread count " << requested << " exceeds the sanity cap of "
+                               << kMaxEngineThreads);
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Execution mode handed through the engine internals: a borrowed pool
+/// (parallel) or none (serial). The pool outlives every phase that uses
+/// the context.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+
+  unsigned threads() const { return pool != nullptr ? pool->size() : 1u; }
+  bool parallel() const { return threads() > 1; }
+};
+
+struct IndexRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  // exclusive
+
+  std::uint64_t size() const { return end - begin; }
+};
+
+/// At most `pieces` contiguous, near-equal subranges of [0, n); the
+/// first (n mod pieces) get one extra element. Empty subranges are not
+/// returned, so the result may hold fewer than `pieces` entries.
+inline std::vector<IndexRange> split_range(std::uint64_t n, unsigned pieces) {
+  FB_CHECK_MSG(pieces > 0, "split_range needs at least one piece");
+  std::vector<IndexRange> out;
+  const std::uint64_t base = n / pieces;
+  const std::uint64_t extra = n % pieces;
+  std::uint64_t begin = 0;
+  for (unsigned i = 0; i < pieces && begin < n; ++i) {
+    const std::uint64_t size = base + (i < extra ? 1 : 0);
+    if (size == 0) break;
+    out.push_back({begin, begin + size});
+    begin += size;
+  }
+  return out;
+}
+
+/// Waits for every future, then rethrows the first captured exception
+/// (all tasks are always joined first, so no task outlives its
+/// captures).
+inline void join_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+/// Runs fn(range) over [0, n) split into at most `pieces` subranges, on
+/// the pool, and joins. The first task exception is rethrown after all
+/// tasks finished.
+template <typename Fn>
+void parallel_for_ranges(ThreadPool& pool, std::uint64_t n, unsigned pieces,
+                         Fn&& fn) {
+  const std::vector<IndexRange> ranges = split_range(n, pieces);
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  for (const IndexRange& r : ranges) {
+    futures.push_back(pool.submit([&fn, r] { fn(r); }));
+  }
+  join_all(futures);
+}
+
+/// Serialises chunk hand-offs in ticket order: producer c blocks in
+/// wait_turn(c) until every ticket below c has completed. Safe to drive
+/// from ThreadPool tasks BECAUSE the pool pops tasks FIFO: when ticket
+/// c's task runs, every lower ticket's task has already started, so the
+/// lowest unfinished ticket is always running and the chain advances.
+/// A producer that fails must still complete its ticket (after
+/// wait_turn) or every later ticket deadlocks.
+class OrderedGate {
+ public:
+  void wait_turn(std::uint64_t ticket) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return next_ == ticket; });
+  }
+
+  void complete(std::uint64_t ticket) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      FB_CHECK_MSG(next_ == ticket,
+                   "OrderedGate ticket " << ticket << " completed out of turn ("
+                                         << next_ << " expected)");
+      ++next_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace fbfs

@@ -25,6 +25,7 @@ EngineOptions engine_options_from_config(const Config& config) {
       config.get_bytes_or("core.stay_buffer", opts.stay_buffer_bytes));
   opts.stay_pool_buffers = static_cast<std::size_t>(
       config.get_u64_or("core.stay_pool_buffers", opts.stay_pool_buffers));
+  opts.num_threads = config.get_threads_or("engine.num_threads", 1);
   return opts;
 }
 

@@ -47,7 +47,9 @@
 #include "common/bitmap.hpp"
 #include "common/check.hpp"
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
 #include "storage/async_writer.hpp"
@@ -88,12 +90,19 @@ struct EngineOptions {
   /// AsyncWriter pool geometry for the stay streams.
   std::size_t stay_buffer_bytes = 1 << 20;
   std::size_t stay_pool_buffers = 4;
+  /// Worker threads for the scatter/gather phases. 1 = the serial
+  /// engine (no pool); 0 = one per hardware thread. States, outputs,
+  /// update files, and stay files are bit-identical at every count
+  /// (chunk-ordered hand-off; see xstream/detail.hpp).
+  std::uint32_t num_threads = 1;
 };
 
 /// Reads `io.reader` / `io.reader_buffer` (reader_factory) and the
 /// `core.*` keys: write_buffer, max_iterations, trim, selective,
 /// trim_start_round, trim_min_frontier_fraction, trim_min_dead_fraction,
-/// grace_timeout (seconds), stay_buffer, stay_pool_buffers.
+/// grace_timeout (seconds), stay_buffer, stay_pool_buffers — plus
+/// `engine.num_threads` (0 = hardware concurrency; shared key with
+/// xstream::run).
 EngineOptions engine_options_from_config(const Config& config);
 
 /// Reads `core.partition_count`, falling back to `fallback`.
@@ -151,6 +160,52 @@ struct PendingTrim {
   std::uint64_t survivors = 0;  // edges appended to the stream
 };
 
+/// scatter_partition's edge-observer for core (see xstream/detail.hpp's
+/// NullTrimSink for the hook contract): counts dead edges and feeds the
+/// partition's ONE staged stay stream with survivors. flush() is only
+/// ever called in input order — serially, or inside the parallel
+/// scatter's ordered hand-off, whose gate mutex sequences the calls —
+/// so the plain (non-atomic) members are race-free and the stay file
+/// receives survivors in scan order at every thread count.
+struct StayTrimSink {
+  struct ChunkState {
+    std::vector<graph::Edge> survivors;
+    std::uint64_t dead = 0;
+  };
+
+  bool counting = false;    // trim-capable run: count dead edges
+  bool collecting = false;  // trimming this scan: stage survivors
+  const AtomicBitmap* retired = nullptr;
+  io::AsyncWriter* writer = nullptr;
+  io::AsyncWriter::StreamId id = 0;
+  bool alive = false;
+  std::uint64_t dead_total = 0;
+
+  ChunkState make_chunk_state() const { return {}; }
+
+  void observe(const graph::Edge& e, bool src_active,
+               ChunkState& chunk) const {
+    if (!counting) return;
+    if (src_active || retired->test(e.src)) {
+      ++chunk.dead;
+    } else if (collecting) {
+      chunk.survivors.push_back(e);
+    }
+  }
+
+  void flush(ChunkState& chunk) {
+    dead_total += chunk.dead;
+    chunk.dead = 0;
+    if (chunk.survivors.empty()) return;
+    if (alive &&
+        !writer->append_raw(id, chunk.survivors.data(),
+                            chunk.survivors.size() * sizeof(graph::Edge))) {
+      alive = false;  // stream cancelled/failed under us
+    }
+    chunk.survivors.clear();
+  }
+};
+
 }  // namespace detail
 
 template <graph::GraphProgram P>
@@ -172,8 +227,14 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   AtomicBitmap active(n);
   AtomicBitmap next_active(n);
 
+  const unsigned num_threads = resolve_thread_count(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
+  const ExecContext exec{pool ? &*pool : nullptr};
+
   xd::init_partition_states(pg, plan, options.reader,
-                            options.write_buffer_bytes, program, active);
+                            options.write_buffer_bytes, program, active,
+                            exec);
 
   // ---- trimming state. Only kTrimmable programs ever pay for any of
   // this; for the rest the loop below is xstream::run's.
@@ -227,7 +288,6 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
 
   // ---- rounds. Stop rules mirror inmem::run exactly.
   std::vector<std::uint64_t> pending_updates(num_partitions, 0);
-  std::vector<graph::Edge> survivor_buf;
   while (result.iterations < options.max_iterations) {
     Stopwatch round_clock;
     IterationStats stats;
@@ -240,6 +300,7 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
 
     // Scatter.
     {
+      Stopwatch scatter_clock;
       auto fanout =
           xd::open_update_fanout<Update>(pg, plan, options.write_buffer_bytes);
       for (std::uint32_t p = 0; p < num_partitions; ++p) {
@@ -259,30 +320,18 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
             static_cast<double>(dead_seen[p]) >=
                 options.trim_min_dead_fraction *
                     static_cast<double>(input_edges[p]);
-        io::AsyncWriter::StreamId stay_id = 0;
-        bool stay_alive = false;
-        std::uint64_t survivors = 0;
-        std::uint64_t dead = 0;
+        detail::StayTrimSink sink;
+        sink.counting = trim_capable;
+        sink.collecting = trim_this_scan;
+        if (trim_capable) sink.retired = &*retired;
         if (trim_this_scan) {
-          stay_id = writer->begin_staged(plan.stay(), stay_file_name(pg, p));
-          stay_alive = true;
+          sink.id = writer->begin_staged(plan.stay(), stay_file_name(pg, p));
+          sink.writer = &*writer;
+          sink.alive = true;
           ++result.trims_started;
           ++stats.trims_started;
-          survivor_buf.clear();
-          survivor_buf.reserve(std::max<std::size_t>(
-              1, options.stay_buffer_bytes / sizeof(graph::Edge)));
         }
-        const auto flush_survivors = [&] {
-          if (survivor_buf.empty()) return;
-          if (stay_alive &&
-              !writer->append_raw(stay_id, survivor_buf.data(),
-                                  survivor_buf.size() * sizeof(graph::Edge))) {
-            stay_alive = false;  // stream cancelled/failed under us
-          }
-          survivor_buf.clear();
-        };
 
-        const graph::VertexId begin = layout.begin(p);
         const std::vector<State> states = xd::read_records<State>(
             plan.state(), xstream::state_file_name(pg, p), options.reader,
             layout.size(p));
@@ -292,61 +341,42 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
               input_on_stay[p] ? plan.stay() : plan.edges();
           const std::string input_name =
               input_on_stay[p] ? stay_file_name(pg, p) : pg.partition_file(p);
-          auto edges = io::open_record_reader<graph::Edge>(
-              input_dev, input_name, options.reader);
-          for (auto batch = edges->next_batch(); !batch.empty();
-               batch = edges->next_batch()) {
-            scanned += batch.size();
-            for (const graph::Edge& e : batch) {
-              const bool src_active =
-                  P::kScatterAllVertices || active.test(e.src);
-              if (src_active) {
-                Update u;
-                if (program.scatter(e, states[e.src - begin], u)) {
-                  fanout.append(layout.owner(u.dst), u);
-                }
-              }
-              if (trim_capable) {
-                if (src_active || retired->test(e.src)) {
-                  ++dead;
-                } else if (trim_this_scan) {
-                  survivor_buf.push_back(e);
-                  if (survivor_buf.size() * sizeof(graph::Edge) >=
-                      options.stay_buffer_bytes) {
-                    flush_survivors();
-                  }
-                }
-              }
-            }
-          }
-        }  // reader closed before the stream can commit a rename
+          scanned = xd::scatter_partition<P>(
+              exec, input_dev, input_name, input_edges[p], layout,
+              layout.begin(p), states, active, program, options.reader,
+              fanout, sink);
+        }  // readers closed before the stream can commit a rename
         FB_CHECK_MSG(scanned == input_edges[p],
                      "partition " << p << " input of " << pg.meta.name
                                   << " holds " << scanned
                                   << " edges, expected " << input_edges[p]);
-        if (trim_capable) dead_seen[p] = dead;
+        if (trim_capable) dead_seen[p] = sink.dead_total;
         if (trim_this_scan) {
-          flush_survivors();
-          survivors = input_edges[p] - dead;
-          if (stay_alive) {
-            writer->finish(stay_id);
+          const std::uint64_t survivors = input_edges[p] - sink.dead_total;
+          if (sink.alive) {
+            writer->finish(sink.id);
           } else {
-            writer->cancel(stay_id);  // no-op if already failed
+            writer->cancel(sink.id);  // no-op if already failed
           }
           stats.stay_edges_written += survivors;
           result.stay_edges_written += survivors;
-          pending[p] = detail::PendingTrim{stay_id, survivors};
+          pending[p] = detail::PendingTrim{sink.id, survivors};
         }
       }
       stats.updates_emitted = fanout.close(pending_updates);
+      stats.scatter_seconds = scatter_clock.seconds();
     }
     if (stats.updates_emitted == 0 && !P::kScatterAllVertices) break;
     result.updates_emitted += stats.updates_emitted;
 
     next_active.reset();
-    xd::gather_partitions(pg, plan, options.reader,
-                          options.write_buffer_bytes, program,
-                          pending_updates, next_active);
+    {
+      Stopwatch gather_clock;
+      xd::gather_partitions(pg, plan, options.reader,
+                            options.write_buffer_bytes, program,
+                            pending_updates, next_active, exec);
+      stats.gather_seconds = gather_clock.seconds();
+    }
 
     // This round's frontier has scattered: those sources are dead for
     // every future round of a trimmable program.

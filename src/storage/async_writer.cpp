@@ -26,6 +26,7 @@ struct AsyncWriter::Stream {
   mutable std::mutex mutex;
   std::condition_variable terminal_cv;
   int fill = -1;                  // producer's partially-filled pool buffer
+  std::byte* fill_ptr = nullptr;  // its stable address (guarded by `mutex`)
   std::size_t fill_length = 0;
   std::uint64_t accepted = 0;
   // Set (under `mutex`) by the writer thread the instant it starts the
@@ -72,6 +73,7 @@ AsyncWriter::StreamId AsyncWriter::begin(File* file) {
   auto stream = std::make_shared<Stream>();
   stream->file = file;
   stream->fill = allocate_stream_buffer();
+  stream->fill_ptr = buffer_ptr(stream->fill);
   std::lock_guard<std::mutex> lock(streams_mutex_);
   stream->id = next_id_++;
   streams_.emplace(stream->id, stream);
@@ -88,6 +90,7 @@ AsyncWriter::StreamId AsyncWriter::begin_staged(Device& device,
   stream->owned = device.open(stream->wip, /*truncate=*/true);
   stream->file = stream->owned.get();
   stream->fill = allocate_stream_buffer();
+  stream->fill_ptr = buffer_ptr(stream->fill);
   std::lock_guard<std::mutex> lock(streams_mutex_);
   stream->id = next_id_++;
   streams_.emplace(stream->id, stream);
@@ -106,6 +109,15 @@ std::shared_ptr<AsyncWriter::Stream> AsyncWriter::find_or_null(
   std::lock_guard<std::mutex> lock(streams_mutex_);
   const auto it = streams_.find(id);
   return it == streams_.end() ? nullptr : it->second;
+}
+
+// The lock only guards `pool_` the vector — allocate_stream_buffer()
+// may relocate its storage concurrently. The byte array a slot owns
+// never moves (and is never reset) while that slot is in flight, so
+// the returned pointer stays valid until the buffer is released.
+std::byte* AsyncWriter::buffer_ptr(int index) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_[index].get();
 }
 
 int AsyncWriter::acquire_buffer() {
@@ -186,8 +198,7 @@ bool AsyncWriter::append_raw(StreamId id, const void* src,
       if (stream->fill >= 0) {
         const std::size_t room = buffer_bytes_ - stream->fill_length;
         const std::size_t take = bytes < room ? bytes : room;
-        std::memcpy(pool_[stream->fill].get() + stream->fill_length, in,
-                    take);
+        std::memcpy(stream->fill_ptr + stream->fill_length, in, take);
         stream->fill_length += take;
         stream->accepted += take;
         in += take;
@@ -196,6 +207,7 @@ bool AsyncWriter::append_raw(StreamId id, const void* src,
           pending_push = stream->fill;
           pending_length = stream->fill_length;
           stream->fill = -1;
+          stream->fill_ptr = nullptr;
           stream->fill_length = 0;
         }
       }
@@ -209,6 +221,7 @@ bool AsyncWriter::append_raw(StreamId id, const void* src,
     // Need a fresh buffer. Acquire it outside the stream lock so a
     // cancel() is never stuck behind pool backpressure.
     const int buffer = acquire_buffer();
+    std::byte* const buffer_data = buffer_ptr(buffer);
     std::lock_guard<std::mutex> lock(stream->mutex);
     if (stream->state.load(std::memory_order_relaxed) !=
         StreamState::active) {
@@ -218,6 +231,7 @@ bool AsyncWriter::append_raw(StreamId id, const void* src,
     FB_CHECK_MSG(stream->fill < 0,
                  "concurrent producers on AsyncWriter stream " << id);
     stream->fill = buffer;
+    stream->fill_ptr = buffer_data;
     stream->fill_length = 0;
   }
   return true;
@@ -237,6 +251,7 @@ void AsyncWriter::finish(StreamId id) {
       pending_push = stream->fill;
       pending_length = stream->fill_length;
       stream->fill = -1;
+      stream->fill_ptr = nullptr;
       stream->fill_length = 0;
     }
   }
@@ -268,6 +283,7 @@ void AsyncWriter::cancel(StreamId id) {
     stream->state.store(StreamState::cancelled, std::memory_order_release);
     reclaim = stream->fill;
     stream->fill = -1;
+    stream->fill_ptr = nullptr;
     stream->fill_length = 0;
     stream->terminal_cv.notify_all();
   }
@@ -358,7 +374,7 @@ void AsyncWriter::writer_loop() {
         if (stream->state.load(std::memory_order_acquire) ==
             StreamState::active) {
           try {
-            stream->file->append(pool_[item.buffer].get(), item.length);
+            stream->file->append(buffer_ptr(item.buffer), item.length);
           } catch (const IoError& error) {
             FB_LOG_WARN << "async stream " << item.id
                         << " failed, auto-cancelling: " << error.what();

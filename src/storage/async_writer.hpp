@@ -119,6 +119,7 @@ class AsyncWriter {
   void writer_loop();
   int acquire_buffer();
   int allocate_stream_buffer();
+  std::byte* buffer_ptr(int index) const;
   void release_buffer(int index);
   void retire_stream_buffer();
   void trim_pool_locked();

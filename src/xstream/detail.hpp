@@ -13,14 +13,18 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/bitmap.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
 #include "storage/reader_factory.hpp"
@@ -42,6 +46,8 @@ struct IterationStats {
   std::uint64_t updates_emitted = 0;
   std::uint64_t activated = 0;  // vertices active entering the next round
   double seconds = 0.0;
+  double scatter_seconds = 0.0;  // edge-scan + update-shuffle share
+  double gather_seconds = 0.0;   // update-fold + apply + write-back share
   /// Per-role device-counter deltas over this round, indexed by
   /// io::Role — how trimming's read-volume cut shows up per iteration.
   /// Exact per role when the plan's roles are dedicated(); roles that
@@ -105,16 +111,18 @@ inline void capture_role_deltas(
 /// The init pass: one scan per partition builds local out-degrees off
 /// the partition's own edge file, runs program.init over its vertex
 /// range, writes its state file, and marks the initially-active
-/// vertices in `active`.
+/// vertices in `active`. Partitions are independent (own files, atomic
+/// bitmap), so with a pool they run concurrently, one task each.
 template <graph::GraphProgram P>
 void init_partition_states(const graph::PartitionedGraph& pg,
                            const io::StoragePlan& plan,
                            const io::ReaderOptions& reader,
                            std::size_t write_buffer_bytes, const P& program,
-                           AtomicBitmap& active) {
+                           AtomicBitmap& active,
+                           const ExecContext& exec = {}) {
   using State = typename P::State;
   const graph::PartitionLayout& layout = pg.layout;
-  for (std::uint32_t p = 0; p < layout.num_partitions(); ++p) {
+  const auto init_one = [&](std::uint32_t p) {
     const graph::VertexId begin = layout.begin(p);
     std::vector<std::uint32_t> degrees(layout.size(p), 0);
     auto edges = io::open_record_reader<graph::Edge>(
@@ -137,18 +145,41 @@ void init_partition_states(const graph::PartitionedGraph& pg,
     }
     write_records<State>(plan.state(), state_file_name(pg, p), states,
                          write_buffer_bytes);
+  };
+  if (!exec.parallel() || layout.num_partitions() == 1) {
+    for (std::uint32_t p = 0; p < layout.num_partitions(); ++p) init_one(p);
+    return;
   }
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(layout.num_partitions());
+  for (std::uint32_t p = 0; p < layout.num_partitions(); ++p) {
+    tasks.push_back(exec.pool->submit([&init_one, p] { init_one(p); }));
+  }
+  join_all(tasks);
 }
 
 /// P update writers held open across one scatter phase; writer q
 /// receives every update addressed into partition q, in source-partition
-/// order.
+/// order. Parallel scatter workers flush their staged per-destination
+/// buffers through append_batch_locked, a short critical section per
+/// writer.
 template <typename Update>
 struct UpdateFanout {
   std::vector<std::unique_ptr<io::File>> files;
   std::vector<std::unique_ptr<io::RecordWriter<Update>>> writers;
+  std::vector<std::unique_ptr<std::mutex>> locks;
 
   void append(std::uint32_t q, const Update& u) { writers[q]->append(u); }
+
+  void append_batch(std::uint32_t q, std::span<const Update> batch) {
+    writers[q]->append_batch(batch);
+  }
+
+  void append_batch_locked(std::uint32_t q, std::span<const Update> batch) {
+    if (batch.empty()) return;
+    std::lock_guard<std::mutex> guard(*locks[q]);
+    writers[q]->append_batch(batch);
+  }
 
   /// Flushes all writers and records each partition's pending update
   /// count; returns the total emitted this phase.
@@ -176,19 +207,174 @@ UpdateFanout<Update> open_update_fanout(const graph::PartitionedGraph& pg,
         plan.updates().open(update_file_name(pg, q), /*truncate=*/true));
     fanout.writers.push_back(std::make_unique<io::RecordWriter<Update>>(
         *fanout.files[q], update_buffer));
+    fanout.locks.push_back(std::make_unique<std::mutex>());
   }
   return fanout;
 }
 
+/// Edge-observer hook of scatter_partition. xstream passes this no-op;
+/// core's StayTrimSink counts dead edges and stages survivors for the
+/// stay stream. ChunkState carries whatever the sink accumulates per
+/// chunk; flush(ChunkState&) is only ever called in input order — from
+/// the serial loop, or inside the parallel scatter's ordered hand-off —
+/// so a sink may keep plain (non-atomic) members touched only there.
+struct NullTrimSink {
+  struct ChunkState {};
+  ChunkState make_chunk_state() const { return {}; }
+  void observe(const graph::Edge&, bool /*src_active*/, ChunkState&) const {}
+  void flush(ChunkState&) {}
+};
+
+/// One partition's scatter: scans `num_records` edges from
+/// `input_name`, runs program.scatter for every active-source edge (or
+/// every edge, for kScatterAllVertices programs), routes emitted
+/// updates into the fan-out, and shows every edge + its activity to
+/// `trim`. Returns the number of edges scanned.
+///
+/// Serial (no pool): one streaming reader honouring `reader` (including
+/// prefetch mode), retiring each delivered batch immediately — the
+/// single-threaded engines' exact behaviour. Parallel: the stream is
+/// cut into fixed-size record chunks fanned over the pool; each chunk
+/// task re-reads its own slice through a plain positional reader,
+/// stages updates in per-destination-partition buffers, then retires
+/// through an OrderedGate in chunk order. Because every update file
+/// only sees its own updates, in scan order, and survivors append in
+/// scan order too, update files and stay files are byte-identical at
+/// every thread count.
+template <graph::GraphProgram P, typename TrimSink>
+std::uint64_t scatter_partition(
+    const ExecContext& exec, io::Device& input_dev,
+    const std::string& input_name, std::uint64_t num_records,
+    const graph::PartitionLayout& layout, graph::VertexId part_begin,
+    const std::vector<typename P::State>& states, const AtomicBitmap& active,
+    const P& program, const io::ReaderOptions& reader,
+    UpdateFanout<typename P::Update>& fanout, TrimSink& trim) {
+  using Update = typename P::Update;
+  const std::uint32_t num_partitions = layout.num_partitions();
+
+  // Shared per-batch step: scatter into per-destination buckets, show
+  // every edge to the trim sink.
+  const auto process = [&](std::span<const graph::Edge> batch,
+                           std::vector<std::vector<Update>>& buckets,
+                           typename TrimSink::ChunkState& chunk) {
+    for (const graph::Edge& e : batch) {
+      const bool src_active = P::kScatterAllVertices || active.test(e.src);
+      if (src_active) {
+        Update u;
+        if (program.scatter(e, states[e.src - part_begin], u)) {
+          buckets[layout.owner(u.dst)].push_back(u);
+        }
+      }
+      trim.observe(e, src_active, chunk);
+    }
+  };
+
+  if (!exec.parallel()) {
+    auto edges =
+        io::open_record_reader<graph::Edge>(input_dev, input_name, reader);
+    std::vector<std::vector<Update>> buckets(num_partitions);
+    auto chunk = trim.make_chunk_state();
+    std::uint64_t scanned = 0;
+    for (auto batch = edges->next_batch(); !batch.empty();
+         batch = edges->next_batch()) {
+      scanned += batch.size();
+      process(batch, buckets, chunk);
+      for (std::uint32_t q = 0; q < num_partitions; ++q) {
+        if (!buckets[q].empty()) {
+          fanout.append_batch(q, buckets[q]);
+          buckets[q].clear();
+        }
+      }
+      trim.flush(chunk);
+    }
+    return scanned;
+  }
+
+  const std::uint64_t chunk_records = std::max<std::uint64_t>(
+      1, reader.buffer_bytes / sizeof(graph::Edge));
+  const std::uint64_t num_chunks =
+      (num_records + chunk_records - 1) / chunk_records;
+  OrderedGate gate;
+  std::atomic<std::uint64_t> scanned{0};
+  std::vector<std::future<void>> chunks;
+  chunks.reserve(num_chunks);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    chunks.push_back(exec.pool->submit([&, c] {
+      const std::uint64_t first = c * chunk_records;
+      const std::uint64_t count =
+          std::min(chunk_records, num_records - first);
+      std::vector<std::vector<Update>> buckets(num_partitions);
+      auto chunk = trim.make_chunk_state();
+      bool processed = false;
+      try {
+        // Each chunk is one positional read: a plain reader whose
+        // buffer covers exactly this slice (parallel chunks replace the
+        // serial read-ahead, so prefetch mode is not layered on top).
+        io::ReaderOptions opts = reader;
+        opts.mode = io::ReaderMode::kPlain;
+        opts.offset = first * sizeof(graph::Edge);
+        opts.buffer_bytes =
+            static_cast<std::size_t>(count * sizeof(graph::Edge));
+        auto edges =
+            io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
+        std::uint64_t remaining = count;
+        while (remaining > 0) {
+          auto batch = edges->next_batch();
+          FB_CHECK_MSG(!batch.empty(),
+                       input_name << " ends inside chunk " << c << " ("
+                                  << remaining << " records short)");
+          const std::size_t take = static_cast<std::size_t>(
+              std::min<std::uint64_t>(batch.size(), remaining));
+          process(batch.subspan(0, take), buckets, chunk);
+          remaining -= take;
+        }
+        processed = true;
+      } catch (...) {
+        // Keep the hand-off chain alive for later tickets, then let
+        // join_all surface the failure.
+        gate.wait_turn(c);
+        gate.complete(c);
+        throw;
+      }
+      (void)processed;
+      gate.wait_turn(c);
+      try {
+        for (std::uint32_t q = 0; q < num_partitions; ++q) {
+          fanout.append_batch_locked(q, buckets[q]);
+        }
+        trim.flush(chunk);
+      } catch (...) {
+        gate.complete(c);
+        throw;
+      }
+      gate.complete(c);
+      scanned.fetch_add(count, std::memory_order_relaxed);
+    }));
+  }
+  join_all(chunks);
+  return scanned.load(std::memory_order_relaxed);
+}
+
 /// Gather (+ apply): partitions with no pending updates keep their
 /// state file untouched unless the program applies every round.
+///
+/// With a pool, each partition's vertex range is split into contiguous
+/// per-worker subranges: every worker scans the full (in-memory) update
+/// batch and folds only the updates addressed into its own subrange, so
+/// no state cell is ever touched by two workers and each cell still
+/// sees its updates in file order. The fold result is bit-identical to
+/// the serial loop for any gather, ordered or not — partitioning by
+/// destination preserves per-cell order — though the engine contract
+/// (program.hpp) additionally requires gathers to be order-free exact
+/// reductions. Apply splits over the same subranges.
 template <graph::GraphProgram P>
 void gather_partitions(const graph::PartitionedGraph& pg,
                        const io::StoragePlan& plan,
                        const io::ReaderOptions& reader,
                        std::size_t write_buffer_bytes, const P& program,
                        const std::vector<std::uint64_t>& pending_updates,
-                       AtomicBitmap& next_active) {
+                       AtomicBitmap& next_active,
+                       const ExecContext& exec = {}) {
   using State = typename P::State;
   using Update = typename P::Update;
   const graph::PartitionLayout& layout = pg.layout;
@@ -198,24 +384,58 @@ void gather_partitions(const graph::PartitionedGraph& pg,
     std::vector<State> states = read_records<State>(
         plan.state(), state_file_name(pg, q), reader, layout.size(q));
     if (pending_updates[q] > 0) {
-      auto updates = io::open_record_reader<Update>(
-          plan.updates(), update_file_name(pg, q), reader);
-      for (auto batch = updates->next_batch(); !batch.empty();
-           batch = updates->next_batch()) {
-        for (const Update& u : batch) {
-          FB_CHECK_MSG(layout.owner(u.dst) == q,
-                       "update target " << u.dst
-                                        << " misrouted into partition " << q
-                                        << " of " << pg.meta.name);
-          if (program.gather(u, states[u.dst - begin])) {
-            next_active.set(u.dst);
+      if (!exec.parallel()) {
+        auto updates = io::open_record_reader<Update>(
+            plan.updates(), update_file_name(pg, q), reader);
+        for (auto batch = updates->next_batch(); !batch.empty();
+             batch = updates->next_batch()) {
+          for (const Update& u : batch) {
+            FB_CHECK_MSG(layout.owner(u.dst) == q,
+                         "update target " << u.dst
+                                          << " misrouted into partition " << q
+                                          << " of " << pg.meta.name);
+            if (program.gather(u, states[u.dst - begin])) {
+              next_active.set(u.dst);
+            }
           }
         }
+      } else {
+        const std::vector<Update> updates = read_records<Update>(
+            plan.updates(), update_file_name(pg, q), reader,
+            pending_updates[q]);
+        parallel_for_ranges(
+            *exec.pool, states.size(), exec.threads(),
+            [&](const IndexRange& r) {
+              // The worker owning the range start audits routing for
+              // the whole batch (once, not per worker).
+              const bool audit = r.begin == 0;
+              for (const Update& u : updates) {
+                if (audit) {
+                  FB_CHECK_MSG(layout.owner(u.dst) == q,
+                               "update target "
+                                   << u.dst << " misrouted into partition "
+                                   << q << " of " << pg.meta.name);
+                }
+                const std::uint64_t i = u.dst - begin;
+                if (i < r.begin || i >= r.end) continue;
+                if (program.gather(u, states[i])) {
+                  next_active.set(u.dst);
+                }
+              }
+            });
       }
     }
     if constexpr (P::kNeedsApply) {
-      for (std::uint64_t i = 0; i < states.size(); ++i) {
-        program.apply(begin + static_cast<graph::VertexId>(i), states[i]);
+      const auto apply_range = [&](const IndexRange& r) {
+        for (std::uint64_t i = r.begin; i < r.end; ++i) {
+          program.apply(begin + static_cast<graph::VertexId>(i), states[i]);
+        }
+      };
+      if (!exec.parallel()) {
+        apply_range({0, states.size()});
+      } else {
+        parallel_for_ranges(*exec.pool, states.size(), exec.threads(),
+                            apply_range);
       }
     }
     write_records<State>(plan.state(), state_file_name(pg, q), states,

@@ -12,6 +12,7 @@ EngineOptions engine_options_from_config(const Config& config) {
       config.get_bytes_or("xstream.write_buffer", opts.write_buffer_bytes));
   opts.max_iterations = static_cast<std::uint32_t>(
       config.get_u64_or("xstream.max_iterations", opts.max_iterations));
+  opts.num_threads = config.get_threads_or("engine.num_threads", 1);
   return opts;
 }
 

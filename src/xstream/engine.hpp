@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,7 +41,9 @@
 #include "common/bitmap.hpp"
 #include "common/check.hpp"
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
 #include "storage/reader_factory.hpp"
@@ -59,10 +62,17 @@ struct EngineOptions {
   /// Leave the final state files (and the last update files) on their
   /// devices instead of removing them after the run.
   bool keep_files = false;
+  /// Worker threads for the scatter/gather phases. 1 = the serial
+  /// engine (no pool); 0 = one per hardware thread. States, outputs,
+  /// update files, and stay files are bit-identical at every count
+  /// (chunk-ordered hand-off; see xstream/detail.hpp).
+  std::uint32_t num_threads = 1;
 };
 
 /// Reads `io.reader` / `io.reader_buffer` (reader_factory),
-/// `xstream.write_buffer` (byte size), `xstream.max_iterations`.
+/// `xstream.write_buffer` (byte size), `xstream.max_iterations`,
+/// `engine.num_threads` (0 = hardware concurrency; shared key with
+/// core::run).
 EngineOptions engine_options_from_config(const Config& config);
 
 /// Reads `xstream.partition_count`, falling back to `fallback`.
@@ -95,8 +105,14 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   AtomicBitmap active(n);
   AtomicBitmap next_active(n);
 
+  const unsigned num_threads = resolve_thread_count(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
+  const ExecContext exec{pool ? &*pool : nullptr};
+
   detail::init_partition_states(pg, plan, options.reader,
-                                options.write_buffer_bytes, program, active);
+                                options.write_buffer_bytes, program, active,
+                                exec);
 
   // ---- rounds. Stop rules mirror inmem::run exactly.
   std::vector<std::uint64_t> pending_updates(num_partitions, 0);
@@ -108,8 +124,10 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
 
     // Scatter.
     {
+      Stopwatch scatter_clock;
       auto fanout = detail::open_update_fanout<Update>(
           pg, plan, options.write_buffer_bytes);
+      detail::NullTrimSink no_trim;
       for (std::uint32_t p = 0; p < num_partitions; ++p) {
         if (!P::kScatterAllVertices &&
             !active.any_in_range(layout.begin(p), layout.end(p))) {
@@ -117,32 +135,32 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
           continue;
         }
         ++stats.partitions_scattered;
-        const graph::VertexId begin = layout.begin(p);
         const std::vector<State> states = detail::read_records<State>(
             plan.state(), state_file_name(pg, p), options.reader,
             layout.size(p));
-        auto edges = io::open_record_reader<graph::Edge>(
-            plan.edges(), pg.partition_file(p), options.reader);
-        for (auto batch = edges->next_batch(); !batch.empty();
-             batch = edges->next_batch()) {
-          for (const graph::Edge& e : batch) {
-            if (!P::kScatterAllVertices && !active.test(e.src)) continue;
-            Update u;
-            if (program.scatter(e, states[e.src - begin], u)) {
-              fanout.append(layout.owner(u.dst), u);
-            }
-          }
-        }
+        const std::uint64_t scanned = detail::scatter_partition<P>(
+            exec, plan.edges(), pg.partition_file(p),
+            pg.edges_per_partition[p], layout, layout.begin(p), states,
+            active, program, options.reader, fanout, no_trim);
+        FB_CHECK_MSG(scanned == pg.edges_per_partition[p],
+                     pg.partition_file(p)
+                         << " scanned " << scanned << " edges, expected "
+                         << pg.edges_per_partition[p]);
       }
       stats.updates_emitted = fanout.close(pending_updates);
+      stats.scatter_seconds = scatter_clock.seconds();
     }
     if (stats.updates_emitted == 0 && !P::kScatterAllVertices) break;
     result.updates_emitted += stats.updates_emitted;
 
     next_active.reset();
-    detail::gather_partitions(pg, plan, options.reader,
-                              options.write_buffer_bytes, program,
-                              pending_updates, next_active);
+    {
+      Stopwatch gather_clock;
+      detail::gather_partitions(pg, plan, options.reader,
+                                options.write_buffer_bytes, program,
+                                pending_updates, next_active, exec);
+      stats.gather_seconds = gather_clock.seconds();
+    }
 
     ++result.iterations;
     std::swap(active, next_active);

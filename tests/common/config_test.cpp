@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "common/parallel.hpp"
 #include "common/temp_dir.hpp"
 
 namespace fbfs {
@@ -132,6 +133,31 @@ TEST(ConfigDeath, ByteSizeErrorsListTheValidSuffixes) {
   EXPECT_DEATH(cfg.get_bytes("bad_unit"), "optional suffix B, K/KB/KiB");
   EXPECT_DEATH(cfg.get_bytes("negative"), "not a byte size");
   EXPECT_DEATH(cfg.get_bytes("no_number"), "not a byte size");
+}
+
+TEST(Config, ThreadCountsResolveToConcreteWorkers) {
+  const Config cfg = Config::parse_string(
+      "explicit = 4\n"
+      "auto = 0\n");
+  EXPECT_EQ(cfg.get_threads("explicit"), 4u);
+  // 0 = hardware concurrency, resolved to at least one worker.
+  EXPECT_GE(cfg.get_threads("auto"), 1u);
+  EXPECT_EQ(cfg.get_threads("auto"), resolve_thread_count(0));
+  EXPECT_EQ(cfg.get_threads_or("absent", 3), 3u);
+  EXPECT_GE(cfg.get_threads_or("absent", 0), 1u);  // fallback resolves too
+  EXPECT_EQ(cfg.get_threads("explicit"), cfg.get_threads_or("explicit", 9));
+}
+
+TEST(ConfigDeath, ThreadCountNonsenseIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Config cfg = Config::parse_string(
+      "huge = 100000\n"
+      "text = many\n"
+      "negative = -2\n");
+  EXPECT_DEATH(cfg.get_threads("huge"), "not a sane thread count");
+  EXPECT_DEATH(cfg.get_threads("text"), "not a u64");
+  EXPECT_DEATH(cfg.get_threads("negative"), "not a u64");
+  EXPECT_DEATH(cfg.get_threads("absent"), "missing config key");
 }
 
 }  // namespace

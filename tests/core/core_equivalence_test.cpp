@@ -3,8 +3,9 @@
 // and the in-memory reference — at multiple partition counts, with
 // trimming off, trimming on, and trimming on with a zero grace timeout
 // (the swap is refused whenever the stream has not already committed,
-// exercising the cancellation/fallback path mid-matrix). Trimming is a
-// pure I/O-volume optimisation; if it changes a bit, it is a bug.
+// exercising the cancellation/fallback path mid-matrix), each at
+// T∈{1,2,4} worker threads. Trimming and threading are pure I/O-volume/
+// wall-clock optimisations; if either changes a bit, it is a bug.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -74,30 +75,36 @@ void expect_equivalent(io::Device& dev, const GraphMeta& meta,
     const graph::PartitionedGraph pg =
         graph::partition_edge_list(plan, meta, parts);
     for (const TrimConfig& cfg : kTrimConfigs) {
-      SCOPED_TRACE(std::string(P::kName) + " on " + meta.name + ", P=" +
-                   std::to_string(parts) + ", " + cfg.tag);
-      core::EngineOptions options;
-      options.max_iterations = max_iterations;
-      options.trim = cfg.trim;
-      options.grace_timeout_seconds = cfg.grace_seconds;
-      const auto streamed = core::run(pg, plan, program, options);
+      for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(std::string(P::kName) + " on " + meta.name + ", P=" +
+                     std::to_string(parts) + ", " + cfg.tag + ", T=" +
+                     std::to_string(threads));
+        core::EngineOptions options;
+        options.max_iterations = max_iterations;
+        options.trim = cfg.trim;
+        options.grace_timeout_seconds = cfg.grace_seconds;
+        options.num_threads = threads;
+        const auto streamed = core::run(pg, plan, program, options);
 
-      ASSERT_EQ(streamed.iterations, reference.iterations);
-      ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
-      ASSERT_EQ(streamed.states.size(), reference.states.size());
-      ASSERT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
-                            streamed.states.size() * sizeof(typename P::State)),
-                0);
-      for (VertexId v = 0; v < streamed.states.size(); ++v) {
-        const auto want = program.output(v, reference.states[v]);
-        const auto got = program.output(v, streamed.states[v]);
-        ASSERT_EQ(std::memcmp(&want, &got, sizeof(want)), 0) << "vertex " << v;
-      }
-      if (!cfg.trim || !P::kTrimmable) {
-        ASSERT_EQ(streamed.trims_started, 0u);
-      } else if (streamed.iterations > 1) {
-        // The eager default really trims on multi-round trimmable runs.
-        ASSERT_GT(streamed.trims_started, 0u);
+        ASSERT_EQ(streamed.iterations, reference.iterations);
+        ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
+        ASSERT_EQ(streamed.states.size(), reference.states.size());
+        ASSERT_EQ(
+            std::memcmp(streamed.states.data(), reference.states.data(),
+                        streamed.states.size() * sizeof(typename P::State)),
+            0);
+        for (VertexId v = 0; v < streamed.states.size(); ++v) {
+          const auto want = program.output(v, reference.states[v]);
+          const auto got = program.output(v, streamed.states[v]);
+          ASSERT_EQ(std::memcmp(&want, &got, sizeof(want)), 0)
+              << "vertex " << v;
+        }
+        if (!cfg.trim || !P::kTrimmable) {
+          ASSERT_EQ(streamed.trims_started, 0u);
+        } else if (streamed.iterations > 1) {
+          // The eager default really trims on multi-round trimmable runs.
+          ASSERT_GT(streamed.trims_started, 0u);
+        }
       }
     }
   }

@@ -4,8 +4,10 @@
 // engine across the full matrix lives in core_equivalence_test.cpp.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/temp_dir.hpp"
@@ -83,7 +85,8 @@ TEST(CoreEngine, EngineOptionsComeFromConfigKeys) {
       "core.grace_timeout = 1.5\n"
       "core.stay_buffer = 64K\n"
       "core.stay_pool_buffers = 8\n"
-      "core.partition_count = 6\n");
+      "core.partition_count = 6\n"
+      "engine.num_threads = 2\n");
 
   const core::EngineOptions opts = core::engine_options_from_config(config);
   EXPECT_EQ(opts.write_buffer_bytes, 256u * 1024);
@@ -96,6 +99,8 @@ TEST(CoreEngine, EngineOptionsComeFromConfigKeys) {
   EXPECT_DOUBLE_EQ(opts.grace_timeout_seconds, 1.5);
   EXPECT_EQ(opts.stay_buffer_bytes, 64u * 1024);
   EXPECT_EQ(opts.stay_pool_buffers, 8u);
+  EXPECT_EQ(opts.num_threads, 2u);
+  EXPECT_EQ(core::engine_options_from_config(Config{}).num_threads, 1u);
   EXPECT_EQ(core::partition_count_from_config(config, 2), 6u);
   EXPECT_EQ(core::partition_count_from_config(Config{}, 2), 2u);
 }
@@ -254,6 +259,99 @@ TEST(CoreEngine, GraceTimeoutCancelsAndFallsBack) {
   EXPECT_EQ(std::memcmp(result.states.data(), reference.states.data(),
                         result.states.size() * sizeof(BfsProgram::State)),
             0);
+}
+
+TEST(CoreEngine, MultiThreadedForcedCancellationIsBitIdentical) {
+  // The satellite case trim-on x multi-thread x forced cancellation:
+  // chunk workers feed the stay stream through the ordered hand-off,
+  // the crawling stay device never commits before the next scan, the
+  // zero grace cancels every stream — and the fallback to the previous
+  // input still cannot change a bit.
+  TempDir dir("core");
+  io::DeviceModel crawl;
+  crawl.name = "crawl";
+  crawl.write_mb_s = 0.02;
+  crawl.seek_ns = 1'500'000'000;
+  io::Device fast(dir.str() + "/main", io::DeviceModel::unthrottled());
+  io::Device slow_stay(dir.str() + "/stay", crawl);
+  io::StoragePlan plan =
+      io::StoragePlan::single(fast).assign(io::Role::kStay, slow_stay);
+
+  const GraphMeta meta = rmat_graph(fast);
+  const auto reference = inmem::run_graph(fast, meta, BfsProgram{});
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 2);
+
+  core::EngineOptions options;
+  options.grace_timeout_seconds = 0.0;
+  options.num_threads = 4;
+  const auto result = core::run(pg, plan, BfsProgram{}, options);
+
+  EXPECT_GT(result.trims_started, 0u);
+  EXPECT_GT(result.trims_cancelled, 0u);
+  ASSERT_EQ(result.states.size(), reference.states.size());
+  EXPECT_EQ(std::memcmp(result.states.data(), reference.states.data(),
+                        result.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(CoreEngine, MultiThreadedStayWriteFaultFallsBack) {
+  // Same dying-stay-disk scenario as above, but with chunk workers
+  // appending survivors: the append failure surfaces inside the ordered
+  // hand-off, the stream auto-cancels, and the outputs stay exact.
+  DedicatedRig rig;
+  const GraphMeta meta = rmat_graph(rig.edges);
+  const auto reference = inmem::run_graph(rig.edges, meta, BfsProgram{});
+  const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 4);
+
+  rig.stay.inject_write_faults(1'000'000);
+  core::EngineOptions options;
+  options.stay_buffer_bytes = 4096;  // force mid-scan flushes into faults
+  options.num_threads = 4;
+  const auto result = core::run(pg, rig.plan, BfsProgram{}, options);
+
+  EXPECT_GT(result.trims_started, 0u);
+  EXPECT_EQ(result.trims_committed, 0u);
+  EXPECT_GT(result.trims_failed, 0u);
+  ASSERT_EQ(result.states.size(), reference.states.size());
+  EXPECT_EQ(std::memcmp(result.states.data(), reference.states.data(),
+                        result.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(CoreEngine, StayFilesAreByteIdenticalAcrossThreadCounts) {
+  // The ordered stay hand-off's contract checked on the files
+  // themselves: with a generous grace every trim commits, and the stay
+  // files a kept run leaves behind must match byte-for-byte between the
+  // serial engine and 4 workers.
+  auto run_kept = [](std::uint32_t threads, DedicatedRig& rig,
+                     std::vector<std::vector<std::byte>>& stay_bytes) {
+    const GraphMeta meta = rmat_graph(rig.edges);
+    const PartitionedGraph pg = partition_edge_list(rig.plan, meta, 2);
+    core::EngineOptions options;
+    options.keep_files = true;
+    options.num_threads = threads;
+    const auto result = core::run(pg, rig.plan, BfsProgram{}, options);
+    EXPECT_GT(result.trims_committed, 0u);
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      const std::string name = core::stay_file_name(pg, p);
+      std::vector<std::byte> bytes;
+      if (rig.stay.exists(name)) {
+        bytes.resize(rig.stay.file_size(name));
+        auto file = rig.stay.open(name, /*truncate=*/false);
+        EXPECT_EQ(file->read_at(0, bytes.data(), bytes.size()), bytes.size());
+      }
+      stay_bytes.push_back(std::move(bytes));
+    }
+  };
+  DedicatedRig serial_rig, threaded_rig;
+  std::vector<std::vector<std::byte>> serial_bytes, threaded_bytes;
+  run_kept(1, serial_rig, serial_bytes);
+  run_kept(4, threaded_rig, threaded_bytes);
+  ASSERT_EQ(serial_bytes.size(), threaded_bytes.size());
+  for (std::size_t p = 0; p < serial_bytes.size(); ++p) {
+    EXPECT_FALSE(serial_bytes[p].empty()) << "stay file " << p;
+    EXPECT_EQ(serial_bytes[p], threaded_bytes[p]) << "stay file " << p;
+  }
 }
 
 TEST(CoreEngine, CleansUpRunFilesUnlessKept) {

@@ -1,7 +1,8 @@
 // The acceptance suite for the GraphProgram API: every program, on
 // every generator family, must produce BIT-IDENTICAL results from the
 // streaming engine and the in-memory reference — at multiple partition
-// counts, with either reader mode, and regardless of device placement.
+// counts, with either reader mode, at T∈{1,2,4} worker threads, and
+// regardless of device placement.
 // This is what licenses PR 4's I/O optimisations to validate against
 // inmem instead of re-deriving ground truth per algorithm.
 #include <gtest/gtest.h>
@@ -49,9 +50,9 @@ GraphMeta grid_meta(io::Device& dev) {
 }
 
 /// Runs `program` through the in-memory reference once, then through
-/// the streaming engine at two partition counts x both reader modes,
-/// demanding identical iteration counts, identical update totals, and
-/// byte-identical states and outputs.
+/// the streaming engine at two partition counts x both reader modes x
+/// T∈{1,2,4} worker threads, demanding identical iteration counts,
+/// identical update totals, and byte-identical states and outputs.
 template <graph::GraphProgram P>
 void expect_equivalent(io::Device& dev, const GraphMeta& meta,
                        const P& program,
@@ -64,25 +65,31 @@ void expect_equivalent(io::Device& dev, const GraphMeta& meta,
         graph::partition_edge_list(plan, meta, parts);
     for (const io::ReaderMode mode :
          {io::ReaderMode::kPlain, io::ReaderMode::kPrefetch}) {
-      SCOPED_TRACE(std::string(P::kName) + " on " + meta.name + ", P=" +
-                   std::to_string(parts) + ", reader=" + to_string(mode));
-      xstream::EngineOptions options;
-      options.reader.mode = mode;
-      options.max_iterations = max_iterations;
-      const auto streamed = xstream::run(pg, plan, program, options);
+      for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(std::string(P::kName) + " on " + meta.name + ", P=" +
+                     std::to_string(parts) + ", reader=" + to_string(mode) +
+                     ", T=" + std::to_string(threads));
+        xstream::EngineOptions options;
+        options.reader.mode = mode;
+        options.max_iterations = max_iterations;
+        options.num_threads = threads;
+        const auto streamed = xstream::run(pg, plan, program, options);
 
-      ASSERT_EQ(streamed.iterations, reference.iterations);
-      ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
-      ASSERT_EQ(streamed.states.size(), reference.states.size());
-      ASSERT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
-                            streamed.states.size() * sizeof(typename P::State)),
-                0);
-      // The user-visible outputs, compared bit-wise (memcmp, so float
-      // outputs must match to the last bit, inf included).
-      for (VertexId v = 0; v < streamed.states.size(); ++v) {
-        const auto want = program.output(v, reference.states[v]);
-        const auto got = program.output(v, streamed.states[v]);
-        ASSERT_EQ(std::memcmp(&want, &got, sizeof(want)), 0) << "vertex " << v;
+        ASSERT_EQ(streamed.iterations, reference.iterations);
+        ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
+        ASSERT_EQ(streamed.states.size(), reference.states.size());
+        ASSERT_EQ(
+            std::memcmp(streamed.states.data(), reference.states.data(),
+                        streamed.states.size() * sizeof(typename P::State)),
+            0);
+        // The user-visible outputs, compared bit-wise (memcmp, so float
+        // outputs must match to the last bit, inf included).
+        for (VertexId v = 0; v < streamed.states.size(); ++v) {
+          const auto want = program.output(v, reference.states[v]);
+          const auto got = program.output(v, streamed.states[v]);
+          ASSERT_EQ(std::memcmp(&want, &got, sizeof(want)), 0)
+              << "vertex " << v;
+        }
       }
     }
   }
