@@ -1,359 +1,109 @@
 #include "bench_common.hpp"
 
-#include <atomic>
-#include <cstdlib>
-#include <filesystem>
+#include <cstring>
+#include <utility>
 
 #include "common/check.hpp"
-#include "common/log.hpp"
+#include "core/engine.hpp"
+#include "inmem/engine.hpp"
+#include "storage/storage_plan.hpp"
+#include "xstream/engine.hpp"
 
 namespace fbfs::bench {
 
-namespace {
+using graph::BfsProgram;
 
-std::string unique_tag(const char* prefix) {
-  static std::atomic<std::uint64_t> counter{0};
-  return std::string(prefix) + std::to_string(counter.fetch_add(1));
-}
-
-/// Highest-out-degree vertex: the canonical BFS root, reaching most of
-/// the graph on every generator we use.
-graph::VertexId pick_root(const std::vector<std::uint32_t>& out_degree) {
-  graph::VertexId best = 0;
-  for (graph::VertexId v = 1; v < out_degree.size(); ++v) {
-    if (out_degree[v] > out_degree[best]) best = v;
-  }
-  return best;
-}
-
-}  // namespace
-
-const std::vector<std::string>& evaluation_datasets() {
-  static const std::vector<std::string> names = [] {
-    // FASTBFS_BENCH_DATASETS=a,b,c restricts the evaluation set (useful
-    // for quick shape checks); default matches the paper's four graphs.
-    std::vector<std::string> out;
-    if (const char* env = std::getenv("FASTBFS_BENCH_DATASETS")) {
-      std::string item;
-      for (const char* p = env;; ++p) {
-        if (*p == ',' || *p == '\0') {
-          if (!item.empty()) out.push_back(item);
-          item.clear();
-          if (*p == '\0') break;
-        } else {
-          item.push_back(*p);
-        }
-      }
-    }
-    if (out.empty()) {
-      out = {"rmat18", "rmat20", "twitter_like", "friendster_like"};
-    }
-    return out;
-  }();
-  return names;
-}
-
-BenchEnv& BenchEnv::instance() {
-  static BenchEnv env;
-  return env;
-}
-
-BenchEnv::BenchEnv() {
-  const char* env_dir = std::getenv("FASTBFS_BENCH_DIR");
-  root_ = env_dir != nullptr
-              ? std::string(env_dir)
-              : (std::filesystem::current_path() / "bench_data").string();
-  std::filesystem::create_directories(root_);
-}
-
-std::string BenchEnv::second_disk_dir(const std::string& tag) {
-  const std::string dir = root_ + "/disk2-" + tag;
-  std::filesystem::create_directories(dir);
-  return dir;
-}
-
-const Dataset& BenchEnv::dataset(const std::string& name) {
-  for (const Dataset& ds : datasets_) {
-    if (ds.name == name) return ds;
-  }
-  datasets_.push_back(generate(name));
-  return datasets_.back();
-}
-
-Dataset BenchEnv::generate(const std::string& name) {
+Dataset make_dataset(const std::string& root, const std::string& name,
+                     const graph::ChunkedEdgeSource& source,
+                     std::uint32_t partitions) {
   Dataset ds;
   ds.name = name;
-  ds.dir = root_;
-  io::Device device(root_, io::DeviceModel::unthrottled());
-
-  // Bump when any generator's output changes, so stale datasets (and
-  // their partitioned views) are rebuilt.
-  constexpr std::uint64_t kGenVersion = 4;
-
-  const std::string bench_meta = root_ + "/" + name + ".bench";
-  if (device.exists(name + ".meta") &&
-      std::filesystem::exists(bench_meta)) {
-    const Config cfg = Config::parse_file(bench_meta);
-    if (cfg.get_u64_or("gen_version", 0) == kGenVersion) {
-      ds.meta = graph::load_meta(device, name);
-      ds.bfs_root = static_cast<graph::VertexId>(cfg.get_u64("bfs_root"));
-      return ds;
-    }
-    // Stale: drop derived files (partitions, markers) of this dataset.
-    for (const std::string& file : device.list_files()) {
-      if (file.rfind(name + ".", 0) == 0) device.remove(file);
-    }
-  }
-
-  FB_LOG_INFO << "bench: generating dataset " << name;
-  std::uint64_t num_vertices = 0;
-  std::function<void(const graph::EdgeSink&)> gen;
-  std::uint64_t seed = 1;
-  bool undirected = false;
-
-  const auto rmat = [&](std::uint32_t scale) {
-    num_vertices = 1ull << scale;
-    seed = scale;
-    gen = [scale](const graph::EdgeSink& sink) {
-      graph::RmatParams params;
-      params.scale = scale;
-      params.edge_factor = 16;
-      params.seed = scale;
-      graph::generate_rmat(params, sink);
-    };
-  };
-
-  if (name == "rmat14") rmat(14);
-  else if (name == "rmat16") rmat(16);
-  else if (name == "rmat18") rmat(18);
-  else if (name == "rmat20") rmat(20);
-  else if (name == "twitter_like") {
-    graph::TwitterLikeParams params;
-    params.num_vertices = 512ull << 10;
-    params.num_edges = 8ull << 20;
-    params.seed = seed = 1002;
-    num_vertices = params.num_vertices;
-    gen = [params](const graph::EdgeSink& sink) {
-      graph::generate_twitter_like(params, sink);
-    };
-  } else if (name == "friendster_like") {
-    graph::FriendsterLikeParams params;
-    params.num_vertices = 1ull << 20;
-    params.num_undirected_edges = 6ull << 20;
-    params.seed = seed = 1003;
-    num_vertices = params.num_vertices;
-    undirected = true;
-    gen = [params](const graph::EdgeSink& sink) {
-      graph::generate_friendster_like(params, sink);
-    };
-  } else if (name.rfind("grid", 0) == 0) {
-    const auto side = static_cast<std::uint32_t>(
-        std::strtoul(name.c_str() + 4, nullptr, 10));
-    FB_CHECK_MSG(side >= 2, "grid dataset needs a side length: " << name);
-    graph::Grid2dParams params;
-    params.width = side;
-    params.height = side;
-    num_vertices = std::uint64_t{side} * side;
-    gen = [params](const graph::EdgeSink& sink) {
-      graph::generate_grid2d(params, sink);
-    };
-  } else {
-    FB_CHECK_MSG(false, "unknown bench dataset: " << name);
-  }
-
-  std::vector<std::uint32_t> out_degree(num_vertices, 0);
+  ds.partitions = partitions;
+  ds.root = root;
+  io::Device edges(root + "/edges", io::DeviceModel::unthrottled());
+  std::vector<std::uint32_t> out_degree(source.num_vertices(), 0);
   ds.meta = graph::write_generated(
-      device, name, num_vertices, seed, undirected,
+      edges, name, source.num_vertices(), source.seed(), source.undirected(),
       [&](const graph::EdgeSink& sink) {
-        gen([&](const graph::Edge& e) {
+        source.generate([&](const graph::Edge& e) {
           ++out_degree[e.src];
           sink(e);
         });
       });
-  ds.bfs_root = pick_root(out_degree);
-
-  Config bench_cfg;
-  bench_cfg.set_u64("bfs_root", ds.bfs_root);
-  bench_cfg.set_u64("gen_version", kGenVersion);
-  bench_cfg.write_file(bench_meta);
+  for (graph::VertexId v = 0; v < out_degree.size(); ++v) {
+    if (out_degree[v] > out_degree[ds.bfs_root]) ds.bfs_root = v;
+  }
+  ds.pg = graph::partition_edge_list(edges, ds.meta, partitions);
+  ds.reference =
+      inmem::run_graph(edges, ds.meta, BfsProgram{.root = ds.bfs_root}).states;
   return ds;
 }
 
-graph::PartitionedGraph BenchEnv::partitioned(const Dataset& ds,
-                                              std::uint32_t partitions) {
-  io::Device device(ds.dir, io::DeviceModel::unthrottled());
-  const std::string marker = ds.dir + "/" + ds.name + ".P" +
-                             std::to_string(partitions) + ".partmeta";
-  graph::PartitionedGraph pg;
-  pg.meta = ds.meta;
-  pg.layout = graph::PartitionLayout(ds.meta.num_vertices, partitions);
-  if (std::filesystem::exists(marker)) {
-    const Config cfg = Config::parse_file(marker);
-    pg.edges_per_partition.resize(partitions);
-    for (std::uint32_t p = 0; p < partitions; ++p) {
-      pg.edges_per_partition[p] = cfg.get_u64("p" + std::to_string(p));
-    }
-    return pg;
+std::vector<Dataset> evaluation_datasets(const std::string& workspace,
+                                         bool quick) {
+  std::vector<Dataset> sets;
+  sets.push_back(make_dataset(
+      workspace + "/rmat", "rmat",
+      graph::RmatSource(
+          {.scale = quick ? 14u : 18u, .edge_factor = 16, .seed = 20160523}),
+      /*partitions=*/4));
+  sets.push_back(make_dataset(
+      workspace + "/twitter_like", "twitter_like",
+      graph::TwitterLikeSource(
+          {.num_vertices = quick ? (16ull << 10) : (512ull << 10),
+           .num_edges = quick ? (256ull << 10) : (8ull << 20),
+           .seed = 7}),
+      /*partitions=*/4));
+  if (!quick) {
+    sets.push_back(
+        make_dataset(workspace + "/friendster_like", "friendster_like",
+                     graph::FriendsterLikeSource({.num_vertices = 1ull << 20,
+                                                  .num_undirected_edges =
+                                                      6ull << 20,
+                                                  .seed = 9}),
+                     /*partitions=*/8));
   }
-  FB_LOG_INFO << "bench: partitioning " << ds.name << " into " << partitions;
-  pg = graph::partition_edge_list(device, ds.meta, partitions, 4 << 20);
-  Config cfg;
-  for (std::uint32_t p = 0; p < partitions; ++p) {
-    cfg.set_u64("p" + std::to_string(p), pg.edges_per_partition[p]);
+  return sets;
+}
+
+metrics::RunStats run_bfs(const Dataset& ds, const SystemOptions& options) {
+  // One modelled device per role: the RunStats per-role rows are then
+  // exactly this run's traffic, with nothing shared or carried over.
+  io::Device edges(ds.root + "/edges", options.model);
+  io::Device state(ds.root + "/state", options.model);
+  io::Device updates(ds.root + "/updates", options.model);
+  io::Device stay(ds.root + "/stay", options.model);
+  io::StoragePlan plan = io::StoragePlan::single(edges)
+                             .assign(io::Role::kState, state)
+                             .assign(io::Role::kUpdates, updates)
+                             .assign(io::Role::kStay, stay);
+
+  metrics::Collector collector(options.collector);
+  const BfsProgram program{.root = ds.bfs_root};
+  std::vector<BfsProgram::State> states;
+  if (options.fastbfs) {
+    core::EngineOptions engine;
+    engine.num_threads = options.num_threads;
+    engine.trim_min_dead_fraction = options.trim_min_dead_fraction;
+    engine.collector = &collector;
+    states = core::run(ds.pg, plan, program, engine).states;
+  } else {
+    xstream::EngineOptions engine;
+    engine.num_threads = options.num_threads;
+    engine.collector = &collector;
+    states = xstream::run(ds.pg, plan, program, engine).states;
   }
-  cfg.write_file(marker);
-  return pg;
-}
 
-std::optional<Config> BenchEnv::load_cache(const std::string& cache_name) {
-  const std::string path = root_ + "/" + cache_name + ".cache";
-  if (!std::filesystem::exists(path)) return std::nullopt;
-  return Config::parse_file(path);
-}
+  FB_CHECK_MSG(states.size() == ds.reference.size() &&
+                   std::memcmp(states.data(), ds.reference.data(),
+                               states.size() * sizeof(BfsProgram::State)) == 0,
+               (options.fastbfs ? "fastbfs" : "xstream")
+                   << " on " << ds.name
+                   << " diverged from the in-memory reference");
 
-void BenchEnv::store_cache(const std::string& cache_name,
-                           const Config& cfg) {
-  cfg.write_file(root_ + "/" + cache_name + ".cache");
-}
-
-metrics::RunStats run_xstream_bfs(BenchEnv& env, const Dataset& ds,
-                                  const RunOptions& options) {
-  io::Device device(ds.dir, options.model);
-  const auto pg = env.partitioned(ds, options.partitions);
-  const auto plan =
-      xs::plan_memory(options.memory_budget, ds.meta.num_vertices,
-                      ds.meta.num_edges, sizeof(std::uint32_t),
-                      options.partitions);
-
-  xs::EngineConfig cfg;
-  cfg.vertex_device = &device;
-  cfg.edge_device = &device;
-  cfg.edge_buffer_bytes = plan.edge_buffer_bytes;
-  cfg.update_read_buffer_bytes = plan.update_read_buffer_bytes;
-  cfg.update_write_buffer_bytes = plan.update_write_buffer_bytes;
-  cfg.threads = options.threads;
-  cfg.in_memory_edges = options.allow_in_memory && plan.in_memory_edges;
-  cfg.run_tag = unique_tag("xsb");
-
-  xs::BfsProgram program(ds.bfs_root);
-  xs::Engine<xs::BfsProgram> engine(cfg, pg);
-  auto stats = engine.run(program);
-  stats.algorithm = "bfs";
+  metrics::RunStats stats = std::move(collector.run_stats());
+  stats.label = ds.name + "/" + (options.fastbfs ? "fastbfs" : "xstream");
   return stats;
-}
-
-metrics::RunStats run_fastbfs(BenchEnv& env, const Dataset& ds,
-                              const RunOptions& options) {
-  io::Device primary(ds.dir, options.model);
-  std::unique_ptr<io::Device> secondary;
-  if (options.second_disk) {
-    secondary = std::make_unique<io::Device>(
-        env.second_disk_dir(ds.name), options.model);
-  }
-  const auto pg = env.partitioned(ds, options.partitions);
-  const auto plan =
-      xs::plan_memory(options.memory_budget, ds.meta.num_vertices,
-                      ds.meta.num_edges, sizeof(std::uint32_t),
-                      options.partitions);
-
-  core::FastBfsConfig cfg;
-  cfg.primary = &primary;
-  cfg.secondary = secondary.get();
-  cfg.apply(plan);
-  cfg.in_memory_edges = options.allow_in_memory && plan.in_memory_edges;
-  cfg.trimming = options.trimming;
-  cfg.selective_scheduling = options.selective;
-  cfg.trim_start_round = options.trim_start_round;
-  cfg.trim_min_frontier_fraction = options.trim_min_frontier_fraction;
-  cfg.trim_min_dead_fraction = options.trim_min_dead_fraction;
-  cfg.compress_stay = options.compress_stay;
-  cfg.dedup_updates = options.dedup_updates;
-  cfg.checkpoint_every = options.checkpoint_every;
-  cfg.stay_grace_seconds = options.stay_grace_seconds;
-  cfg.threads = options.threads;
-  cfg.run_tag = unique_tag("fbb");
-
-  core::BfsLevels program(ds.bfs_root);
-  core::FastBfsEngine<core::BfsLevels> engine(cfg, pg);
-  auto stats = engine.run(program);
-  stats.algorithm = "bfs";
-  return stats;
-}
-
-metrics::RunStats run_graphchi_bfs(BenchEnv& env, const Dataset& ds,
-                                   const RunOptions& options,
-                                   metrics::RunStats* preprocess) {
-  (void)env;
-  // Sharding = GraphChi preprocessing, excluded from execution time as in
-  // the paper; it runs unthrottled so the benchmark suite stays fast, and
-  // its byte counts are reported separately.
-  io::Device build_device(ds.dir, io::DeviceModel::unthrottled());
-  gc::ShardingOptions sharding;
-  sharding.num_shards = options.partitions;
-  sharding.buffer_bytes = 4 << 20;
-  sharding.tag = unique_tag("gcs");
-  const gc::ShardedGraph sg =
-      gc::build_shards(build_device, ds.meta, sharding, preprocess);
-
-  io::Device device(ds.dir, options.model);
-  const auto plan =
-      xs::plan_memory(options.memory_budget, ds.meta.num_vertices,
-                      ds.meta.num_edges, sizeof(std::uint32_t),
-                      options.partitions);
-  gc::PswConfig cfg;
-  cfg.device = &device;
-  cfg.buffer_bytes = plan.edge_buffer_bytes;
-  cfg.run_tag = unique_tag("gcr");
-
-  gc::GcBfsProgram program(ds.bfs_root);
-  gc::PswEngine<gc::GcBfsProgram> engine(cfg, sg);
-  auto stats = engine.run(program);
-  stats.algorithm = "bfs";
-
-  // Shards are single-use (edge values mutated); drop them.
-  for (std::uint32_t s = 0; s < sg.num_shards; ++s) {
-    build_device.remove(sg.shard_file(s));
-  }
-  return stats;
-}
-
-Config measure_all_systems(BenchEnv& env, const io::DeviceModel& model,
-                           const std::string& cache_name) {
-  if (auto cached = env.load_cache(cache_name)) {
-    // Only valid if it covers every dataset of this invocation.
-    bool complete = true;
-    for (const std::string& name : evaluation_datasets()) {
-      complete &= cached->has(name + ".fastbfs.seconds");
-    }
-    if (complete) {
-      FB_LOG_INFO << "bench: reusing cached measurements " << cache_name;
-      return *cached;
-    }
-  }
-  Config out;
-  RunOptions options;
-  options.model = model;
-  for (const std::string& name : evaluation_datasets()) {
-    const Dataset& ds = env.dataset(name);
-    const auto record = [&](const std::string& system,
-                            const metrics::RunStats& stats) {
-      const std::string key = name + "." + system + ".";
-      out.set_f64(key + "seconds", stats.wall_seconds);
-      out.set_u64(key + "bytes_read", stats.bytes_read);
-      out.set_u64(key + "bytes_written", stats.bytes_written);
-      out.set_f64(key + "iowait", stats.iowait_ratio());
-      out.set_u64(key + "rounds", stats.rounds);
-    };
-    FB_LOG_INFO << "bench: " << name << " on " << model.name;
-    metrics::RunStats prep;
-    record("graphchi", run_graphchi_bfs(env, ds, options, &prep));
-    out.set_u64(name + ".graphchi.prep_bytes",
-                prep.bytes_read + prep.bytes_written);
-    record("xstream", run_xstream_bfs(env, ds, options));
-    record("fastbfs", run_fastbfs(env, ds, options));
-  }
-  env.store_cache(cache_name, out);
-  return out;
 }
 
 }  // namespace fbfs::bench

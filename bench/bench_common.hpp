@@ -1,115 +1,69 @@
-// Shared benchmark environment for the figure/table reproductions.
+// Shared environment for the figure benches (Figs. 5/6 today).
 //
-// Datasets (Table II, scaled ~1/32 — see DESIGN.md substitutions) are
-// generated once into a workspace directory and reused by every bench
-// binary. Generation, partitioning, and GraphChi sharding run through an
-// *unthrottled* view of the workspace (preprocessing is excluded from the
-// paper's execution times); measured runs construct throttled HDD/SSD
-// Device views over the same directory, so the bytes are identical and
-// only the timing model differs.
+// A Dataset is generated and partitioned once through *unthrottled*
+// devices — preprocessing is excluded from the paper's execution
+// numbers — and every measured run then opens fresh modelled devices
+// (one per storage role, so per-role byte counters are exact) over the
+// same file roots. The BFS root is the highest-out-degree vertex, so
+// the traversal covers most of the graph instead of a lucky corner.
 //
-// Figures 4/5/6 share one set of runs; the first binary to execute caches
-// the measurements in the workspace and the others reuse them.
+// Measured runs go through a fresh metrics::Collector and return its
+// RunStats: per-iteration rows with per-role bytes, modelled device
+// busy time (the Fig. 6 iowait input), and per-phase latency
+// histograms. Every run is checked bit-identical against the in-memory
+// reference before its numbers are reported — a config that changes a
+// result is a bug, not a data point.
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "common/config.hpp"
-#include "core/fastbfs_engine.hpp"
-#include "core/traversal.hpp"
 #include "graph/generators.hpp"
 #include "graph/partitioner.hpp"
-#include "graphchi/psw_engine.hpp"
-#include "metrics/report.hpp"
+#include "graph/program.hpp"
+#include "metrics/collector.hpp"
 #include "metrics/run_stats.hpp"
-#include "xstream/engine.hpp"
+#include "storage/device.hpp"
 
 namespace fbfs::bench {
 
-/// One benchmark dataset: generated graph + canonical BFS root (the
-/// highest-out-degree vertex, so traversals cover most of the graph).
 struct Dataset {
   std::string name;
   graph::GraphMeta meta;
-  graph::VertexId bfs_root = 0;
-  std::string dir;  // host directory holding the files
+  std::uint32_t partitions = 0;
+  graph::VertexId bfs_root = 0;  // highest out-degree vertex
+  std::string root;              // per-role device roots live under here
+  std::vector<graph::BfsProgram::State> reference;  // inmem ground truth
+  graph::PartitionedGraph pg;
 };
 
-/// Default scaled working-memory budget (the paper fixed 4 GB against
-/// 6–24 GB graphs; we fix 32 MiB against 8–160 MiB graphs).
-inline constexpr std::uint64_t kDefaultBudget = 32ull << 20;
-inline constexpr std::uint32_t kDefaultPartitions = 8;
+/// Generates, partitions, picks the BFS root, and runs the in-memory
+/// reference — all on unthrottled devices (setup is free).
+Dataset make_dataset(const std::string& root, const std::string& name,
+                     const graph::ChunkedEdgeSource& source,
+                     std::uint32_t partitions);
 
-/// The four evaluation datasets of Figs. 4–7/10 (paper: rmat25, rmat27,
-/// twitter_rv, friendster).
-const std::vector<std::string>& evaluation_datasets();
+/// The evaluation set for Figs. 5/6: r-mat plus the twitter-like
+/// power-law graph in quick mode; the full set adds a larger r-mat and
+/// the friendster-like symmetric graph (Table II, scaled — the real
+/// twitter_rv/friendster crawls are out of scope for a test box).
+std::vector<Dataset> evaluation_datasets(const std::string& workspace,
+                                         bool quick);
 
-class BenchEnv {
- public:
-  /// Workspace under FASTBFS_BENCH_DIR (default: <repo>/build/bench_data).
-  static BenchEnv& instance();
-
-  /// Generates (or reuses) a dataset by name: rmat14/16/18/20,
-  /// twitter_like, friendster_like, grid512.
-  const Dataset& dataset(const std::string& name);
-
-  /// Per-(dataset, partitions) partitioned view, built once.
-  graph::PartitionedGraph partitioned(const Dataset& ds,
-                                      std::uint32_t partitions);
-
-  const std::string& root_dir() const { return root_; }
-  /// Directory for a second disk, separate from the dataset directory.
-  std::string second_disk_dir(const std::string& tag);
-
-  /// Results cache shared by figure binaries (Config key-value file).
-  std::optional<Config> load_cache(const std::string& cache_name);
-  void store_cache(const std::string& cache_name, const Config& cfg);
-
- private:
-  BenchEnv();
-  Dataset generate(const std::string& name);
-
-  std::string root_;
-  std::vector<Dataset> datasets_;
-};
-
-/// Options common to the measured runs.
-struct RunOptions {
-  io::DeviceModel model = io::DeviceModel::hdd();
-  std::uint64_t memory_budget = kDefaultBudget;
-  std::uint32_t partitions = kDefaultPartitions;
-  unsigned threads = 1;
-  bool second_disk = false;       // FastBFS dual-disk placement
-  bool trimming = true;           // FastBFS
-  bool selective = true;          // FastBFS
-  std::uint32_t trim_start_round = 1;
-  double trim_min_frontier_fraction = 0.0;
-  // The paper's dynamic trim threshold (§II-C3): wait until 25% of all
-  // edges are dead before paying for stay rewrites.
+struct SystemOptions {
+  io::DeviceModel model = io::DeviceModel::hdd();  // per-role device model
+  bool fastbfs = true;           // false: the untrimmed x-stream baseline
+  std::uint32_t num_threads = 1;
+  /// FastBFS runs the paper's §II-C3 dynamic trim threshold (wait
+  /// until 25% of a partition's input is dead before paying for a
+  /// rewrite), as Figs. 4-7 do; 0 restores eager trimming.
   double trim_min_dead_fraction = 0.25;
-  bool compress_stay = false;  // §IV-B compression extension
-  bool dedup_updates = false;  // same-round update dedup extension
-  std::uint32_t checkpoint_every = 0;  // crash-recovery snapshots
-  double stay_grace_seconds = 0.1;
-  bool allow_in_memory = false;   // honour plan.in_memory_edges (Fig. 9)
+  metrics::CollectorOptions collector;
 };
 
-metrics::RunStats run_xstream_bfs(BenchEnv& env, const Dataset& ds,
-                                  const RunOptions& options);
-metrics::RunStats run_fastbfs(BenchEnv& env, const Dataset& ds,
-                              const RunOptions& options);
-/// `preprocess`, when non-null, receives the sharding cost (excluded from
-/// the returned execution stats, as in the paper).
-metrics::RunStats run_graphchi_bfs(BenchEnv& env, const Dataset& ds,
-                                   const RunOptions& options,
-                                   metrics::RunStats* preprocess = nullptr);
-
-/// Runs all three systems over the evaluation datasets with the given
-/// device model, caching under `cache_name` so sibling figures reuse the
-/// measurements. Returns rows keyed "<dataset>.<system>.<field>".
-Config measure_all_systems(BenchEnv& env, const io::DeviceModel& model,
-                           const std::string& cache_name);
+/// One measured BFS run through a fresh Collector. The returned
+/// RunStats is labelled "<dataset>/<system>" and its rows carry the
+/// exact per-role byte deltas from the run's own devices.
+metrics::RunStats run_bfs(const Dataset& ds, const SystemOptions& options);
 
 }  // namespace fbfs::bench

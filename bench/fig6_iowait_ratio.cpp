@@ -1,33 +1,139 @@
-// Fig. 6 — iowait time ratio: share of execution spent blocked on I/O.
-// Paper: GraphChi lowest (compute-heavy), FastBFS slightly above X-Stream
-// (it removed proportionally more computation than I/O).
+// Fig. 6 — iowait time ratio: the share of execution spent blocked on
+// I/O, per iteration and per run.
+//
+// Paper: BFS is I/O-bound, so both streaming systems sit at high
+// iowait; FastBFS lands slightly ABOVE X-Stream because trimming
+// removes proportionally more computation (dead-edge scans) than I/O.
+//
+// The figure's quantity here is the MODELLED iowait: per iteration,
+// the bottleneck device's modelled busy time over the round's wall
+// time, clamped to [0, 1] (metrics::IterationStats::modelled_iowait).
+// NOTE on FASTBFS_TIME_SCALE: compute time does not scale with the
+// device model, so shrinking the scale deflates the ratio (wall time
+// becomes compute-dominated). Run at FASTBFS_TIME_SCALE=1 for
+// paper-comparable absolute ratios; smaller scales keep CI cheap and
+// still show both systems' iowait moving together. A host /proc/stat
+// sample brackets the runs too, but only as context: on a shared or
+// containerised box the host's iowait mixes in every other tenant, so
+// the modelled ratio is the number the figure reads.
+//
+// The full per-run RunStats (per-iteration rows, per-phase histogram
+// digests, per-role bytes) is emitted into BENCH_pr6.json — this one
+// artifact carries both the Fig. 5 byte shape and the Fig. 6 iowait
+// shape. Both systems are verified bit-identical against the
+// in-memory reference inside run_bfs. --quick shrinks the graphs for
+// CI; --out=FILE overrides the artifact path.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
+#include "json_writer.hpp"
+
+#include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/temp_dir.hpp"
+#include "metrics/cpu_util.hpp"
+#include "metrics/table.hpp"
 
-using namespace fbfs;
+namespace {
 
-int main() {
+using namespace fbfs;  // NOLINT(build/namespaces)
+using bench::Json;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_pr6.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::cerr << "usage: fig6_iowait_ratio [--quick] [--out=FILE]\n";
+      return 2;
+    }
+  }
   init_log_level_from_env();
   metrics::print_experiment_header(
-      "Fig. 6 — iowait time ratio (HDD runs)",
-      "BFS is I/O-bound: X-Stream/FastBFS iowait ratios are high; "
-      "GraphChi's is lower because it burns more CPU per byte");
+      "Fig. 6 — iowait time ratio (per-role HDD models)",
+      "BFS is I/O-bound: both systems run at high iowait, FastBFS "
+      "slightly above X-Stream (it removed more compute than I/O)");
 
-  bench::BenchEnv& env = bench::BenchEnv::instance();
-  const Config results = bench::measure_all_systems(
-      env, io::DeviceModel::hdd(), "fig456_hdd");
+  TempDir workspace("fig6_iowait_ratio");
+  const std::vector<bench::Dataset> datasets =
+      bench::evaluation_datasets(workspace.str(), quick);
 
-  metrics::Table table(
-      {"dataset", "graphchi iowait", "xstream iowait", "fastbfs iowait"});
-  for (const std::string& name : bench::evaluation_datasets()) {
-    table.add_row(
-        {name,
-         metrics::Table::percent(results.get_f64(name + ".graphchi.iowait")),
-         metrics::Table::percent(results.get_f64(name + ".xstream.iowait")),
-         metrics::Table::percent(results.get_f64(name + ".fastbfs.iowait"))});
+  Json json;
+  json.text("bench", "fig6_iowait_ratio");
+  json.text("mode", quick ? "quick" : "full");
+  json.text("program", "bfs");
+
+  const std::optional<metrics::CpuTimes> host_before =
+      metrics::sample_cpu_times();
+
+  metrics::Table table({"dataset", "xstream iowait", "fastbfs iowait",
+                        "fb - xs", "fb iters"});
+  for (const bench::Dataset& ds : datasets) {
+    bench::SystemOptions options;
+    options.fastbfs = false;
+    const metrics::RunStats xs = bench::run_bfs(ds, options);
+    options.fastbfs = true;
+    const metrics::RunStats fb = bench::run_bfs(ds, options);
+
+    const double xs_iowait = xs.modelled_iowait();
+    const double fb_iowait = fb.modelled_iowait();
+    table.add_row({ds.name, metrics::Table::percent(xs_iowait),
+                   metrics::Table::percent(fb_iowait),
+                   metrics::Table::percent(fb_iowait - xs_iowait),
+                   metrics::Table::count(fb.iterations.size())});
+
+    // The whole RunStats per system: per-iteration modelled iowait
+    // (the Fig. 6 curve), per-role bytes (the Fig. 5 shape), and the
+    // per-phase latency digests, in one artifact.
+    json.open(ds.name);
+    json.integer("vertices", ds.meta.num_vertices);
+    json.integer("edges", ds.meta.num_edges);
+    json.open("xstream");
+    xs.write_json(json);
+    json.close();
+    json.open("fastbfs");
+    fb.write_json(json);
+    json.close();
+    json.close();
   }
   table.print();
-  table.write_csv_file(env.root_dir() + "/fig6.csv");
-  std::cout << "(csv: " << env.root_dir() << "/fig6.csv)\n";
+
+  // Host CPU context only — see the header comment for the caveat.
+  if (host_before.has_value()) {
+    const std::optional<metrics::CpuTimes> host_after =
+        metrics::sample_cpu_times();
+    if (host_after.has_value()) {
+      const metrics::CpuUsage usage =
+          metrics::cpu_usage_between(*host_before, *host_after);
+      if (usage.valid) {
+        std::cout << "\nhost /proc/stat over the runs: busy "
+                  << usage.busy * 100.0 << "%, iowait "
+                  << usage.iowait * 100.0
+                  << "% (context only: shared/containerised hosts mix "
+                     "in other tenants; the modelled ratio above is "
+                     "the figure's quantity)\n";
+        json.open("host_cpu");
+        json.number("busy", usage.busy);
+        json.number("iowait", usage.iowait);
+        json.close();
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  FB_CHECK_MSG(out.good(), "cannot write " << out_path);
+  out << json.str();
+  std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -1,57 +1,12 @@
-// Hand-rolled JSON writer shared by the bench mains: flat sections of
-// key/value pairs are all the structure these reports need, and the
-// benches stay free of third-party deps.
+// The bench JSON writer moved into src/metrics (metrics::RunStats
+// emits the same reports the benches upload); this alias keeps the
+// bench mains' `bench::Json` spelling working.
 #pragma once
 
-#include <cstdint>
-#include <iomanip>
-#include <sstream>
-#include <string>
+#include "metrics/json_writer.hpp"
 
 namespace fbfs::bench {
 
-class Json {
- public:
-  void number(const std::string& key, double v) {
-    std::ostringstream os;
-    os << std::setprecision(6) << v;
-    field(key, os.str());
-  }
-  void integer(const std::string& key, std::uint64_t v) {
-    field(key, std::to_string(v));
-  }
-  void text(const std::string& key, const std::string& v) {
-    field(key, "\"" + v + "\"");
-  }
-  void open(const std::string& key) {
-    indent();
-    out_ << "\"" << key << "\": {\n";
-    ++depth_;
-    first_ = true;
-  }
-  void close() {
-    --depth_;
-    out_ << "\n";
-    for (int i = 0; i <= depth_; ++i) out_ << "  ";
-    out_ << "}";
-    first_ = false;
-  }
-  std::string str() const { return "{\n" + out_.str() + "\n}\n"; }
-
- private:
-  void field(const std::string& key, const std::string& value) {
-    indent();
-    out_ << "\"" << key << "\": " << value;
-    first_ = false;
-  }
-  void indent() {
-    if (!first_) out_ << ",\n";
-    for (int i = 0; i <= depth_; ++i) out_ << "  ";
-  }
-
-  std::ostringstream out_;
-  int depth_ = 0;
-  bool first_ = true;
-};
+using Json = metrics::Json;
 
 }  // namespace fbfs::bench

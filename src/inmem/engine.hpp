@@ -25,13 +25,22 @@
 
 #include "common/bitmap.hpp"
 #include "common/check.hpp"
+#include "common/stopwatch.hpp"
 #include "graph/csr.hpp"
 #include "graph/program.hpp"
+#include "metrics/collector.hpp"
 
 namespace fbfs::inmem {
 
 struct RunOptions {
   std::uint32_t max_iterations = 1'000'000;
+  /// Optional observability hook (not owned). Null keeps the hot loops
+  /// unchanged — no allocation, no atomics, no per-edge clock reads
+  /// (see metrics/collector.hpp); the only addition is one per-round
+  /// stopwatch, matching the streaming engines. There is no storage
+  /// plan here, so the per-role I/O block of each iteration row stays
+  /// zero.
+  metrics::Collector* collector = nullptr;
 };
 
 template <graph::GraphProgram P>
@@ -57,33 +66,59 @@ RunResult<P> run(const graph::Csr& csr, const P& program,
     if (is_active) active.set(v);
   }
 
+  metrics::Collector* const collector = options.collector;
   std::vector<Update> updates;
   while (result.iterations < options.max_iterations) {
+    Stopwatch round_clock;
     updates.clear();
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (!P::kScatterAllVertices && !active.test(v)) continue;
-      const typename P::State src_state = result.states[v];  // frozen copy
-      for (const graph::VertexId dst : csr.neighbors(v)) {
-        Update u;
-        if (program.scatter(graph::Edge{v, dst}, src_state, u)) {
-          updates.push_back(u);
+    std::uint64_t scanned = 0;
+    std::uint64_t sieved = 0;
+    {
+      metrics::ScopedPhase scatter_timer(collector, metrics::Phase::kScatter);
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (!P::kScatterAllVertices && !active.test(v)) continue;
+        const typename P::State src_state = result.states[v];  // frozen copy
+        scanned += csr.out_degree(v);
+        for (const graph::VertexId dst : csr.neighbors(v)) {
+          Update u;
+          if (program.scatter(graph::Edge{v, dst}, src_state, u)) {
+            updates.push_back(u);
+          } else {
+            ++sieved;
+          }
         }
       }
+    }
+    if (collector != nullptr) {
+      collector->live().add_edges_scanned(scanned);
+      collector->live().add_updates(updates.size(), sieved);
     }
     if (updates.empty() && !P::kScatterAllVertices) break;
     result.updates_emitted += updates.size();
 
     next_active.reset();
-    for (const Update& u : updates) {
-      if (program.gather(u, result.states[u.dst])) next_active.set(u.dst);
+    {
+      metrics::ScopedPhase gather_timer(collector, metrics::Phase::kGather);
+      for (const Update& u : updates) {
+        if (program.gather(u, result.states[u.dst])) next_active.set(u.dst);
+      }
     }
     if constexpr (P::kNeedsApply) {
+      metrics::ScopedPhase apply_timer(collector, metrics::Phase::kApply);
       for (graph::VertexId v = 0; v < n; ++v) {
         program.apply(v, result.states[v]);
       }
     }
     ++result.iterations;
     std::swap(active, next_active);
+    if (collector != nullptr) {
+      metrics::IterationStats stats;
+      stats.iteration = result.iterations - 1;
+      stats.updates_emitted = updates.size();
+      stats.activated = active.count_set();
+      stats.seconds = round_clock.seconds();
+      collector->end_iteration(stats);
+    }
     if (!P::kScatterAllVertices && !active.any()) break;
   }
   return result;

@@ -1,0 +1,45 @@
+#include "metrics/cpu_util.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fbfs::metrics {
+
+std::optional<CpuTimes> sample_cpu_times() {
+  std::ifstream stat("/proc/stat");
+  if (!stat.good()) return std::nullopt;
+  std::string line;
+  if (!std::getline(stat, line)) return std::nullopt;
+  std::istringstream is(line);
+  std::string tag;
+  is >> tag;
+  if (tag != "cpu") return std::nullopt;
+  // user nice system idle iowait irq softirq steal [guest guest_nice]
+  std::uint64_t fields[8] = {};
+  for (std::uint64_t& f : fields) {
+    if (!(is >> f)) return std::nullopt;  // pre-2.6 kernels lack fields
+  }
+  CpuTimes t;
+  t.idle_ticks = fields[3];
+  t.iowait_ticks = fields[4];
+  t.busy_ticks =
+      fields[0] + fields[1] + fields[2] + fields[5] + fields[6] + fields[7];
+  t.total_ticks = t.busy_ticks + t.idle_ticks + t.iowait_ticks;
+  return t;
+}
+
+CpuUsage cpu_usage_between(const CpuTimes& a, const CpuTimes& b) {
+  CpuUsage u;
+  if (b.total_ticks <= a.total_ticks || b.busy_ticks < a.busy_ticks ||
+      b.iowait_ticks < a.iowait_ticks) {
+    return u;
+  }
+  const double total = static_cast<double>(b.total_ticks - a.total_ticks);
+  u.busy = static_cast<double>(b.busy_ticks - a.busy_ticks) / total;
+  u.iowait = static_cast<double>(b.iowait_ticks - a.iowait_ticks) / total;
+  u.valid = true;
+  return u;
+}
+
+}  // namespace fbfs::metrics

@@ -1,0 +1,38 @@
+// Host CPU accounting off /proc/stat — elbencho's CPUUtil shape. The
+// modelled devices give the MODELLED iowait ratio (IterationStats);
+// this sampler reads the REAL host's aggregate cpu line so a bench on
+// a physical disk can report both side by side. Two samples bracket an
+// interval; the tick deltas give busy/iowait shares.
+//
+// Linux-only by nature: sample_cpu_times() returns nullopt where
+// /proc/stat is absent or unparseable, and callers degrade (the fig6
+// bench prints "n/a").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fbfs::metrics {
+
+/// One reading of the aggregate "cpu " line. Ticks are cumulative
+/// since boot, in USER_HZ units (the ratios below cancel the unit).
+struct CpuTimes {
+  std::uint64_t busy_ticks = 0;    // user + nice + system + irq + softirq + steal
+  std::uint64_t idle_ticks = 0;
+  std::uint64_t iowait_ticks = 0;
+  std::uint64_t total_ticks = 0;   // sum of all fields
+};
+
+std::optional<CpuTimes> sample_cpu_times();
+
+/// Share of the interval [a, b] spent busy / in iowait. Invalid (all
+/// zeros, valid=false) when the interval is empty or ticks regressed.
+struct CpuUsage {
+  double busy = 0.0;
+  double iowait = 0.0;
+  bool valid = false;
+};
+
+CpuUsage cpu_usage_between(const CpuTimes& a, const CpuTimes& b);
+
+}  // namespace fbfs::metrics

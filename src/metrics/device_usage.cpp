@@ -1,0 +1,48 @@
+#include "metrics/device_usage.hpp"
+
+#include <algorithm>
+
+namespace fbfs::metrics {
+
+void capture_iteration_io(const io::StoragePlan& plan,
+                          const RoleSnapshots& before, IterationStats& stats) {
+  const RoleSnapshots now = plan.stats_snapshot();
+  stats.device_bytes_read = 0;
+  stats.device_bytes_written = 0;
+  stats.device_busy_ns = 0;
+  stats.device_model_busy_ns = 0;
+  stats.max_device_busy_ns = 0;
+  std::array<const io::Device*, io::kNumRoles> seen{};
+  std::size_t num_seen = 0;
+  for (std::size_t r = 0; r < io::kNumRoles; ++r) {
+    const io::IoStatsSnapshot d = now[r].delta(before[r]);
+    RoleIo& io = stats.io[r];
+    io.bytes_read = d.bytes_read;
+    io.bytes_written = d.bytes_written;
+    io.read_ops = d.read_ops;
+    io.write_ops = d.write_ops;
+    io.seeks = d.seeks;
+    io.busy_ns = d.busy_ns;
+    io.model_busy_ns = d.model_busy_ns;
+
+    // Distinct-device totals: count each device once, whichever roles
+    // share it.
+    const io::Device* dev = &plan.device(static_cast<io::Role>(r));
+    bool counted = false;
+    for (std::size_t i = 0; i < num_seen; ++i) {
+      if (seen[i] == dev) {
+        counted = true;
+        break;
+      }
+    }
+    if (counted) continue;
+    seen[num_seen++] = dev;
+    stats.device_bytes_read += d.bytes_read;
+    stats.device_bytes_written += d.bytes_written;
+    stats.device_busy_ns += d.busy_ns;
+    stats.device_model_busy_ns += d.model_busy_ns;
+    stats.max_device_busy_ns = std::max(stats.max_device_busy_ns, d.busy_ns);
+  }
+}
+
+}  // namespace fbfs::metrics

@@ -1,0 +1,25 @@
+// Device-usage capture: turns two StoragePlan counter snapshots into
+// one iteration's I/O record — per-role deltas plus distinct-device
+// totals (the modelled iowait inputs). Replaces the engines' ad-hoc
+// capture_role_deltas, which only kept bytes.
+#pragma once
+
+#include <array>
+
+#include "metrics/iteration_stats.hpp"
+#include "storage/io_stats.hpp"
+#include "storage/storage_plan.hpp"
+
+namespace fbfs::metrics {
+
+using RoleSnapshots = std::array<io::IoStatsSnapshot, io::kNumRoles>;
+
+/// Fills stats.io with the per-role deltas accumulated since `before`
+/// (a plan.stats_snapshot() taken at the start of the round), and the
+/// distinct-device totals: each device is counted once however many
+/// roles it serves, and max_device_busy_ns is the busiest device's
+/// scaled busy delta — the modelled bottleneck spindle of the round.
+void capture_iteration_io(const io::StoragePlan& plan,
+                          const RoleSnapshots& before, IterationStats& stats);
+
+}  // namespace fbfs::metrics

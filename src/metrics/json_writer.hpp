@@ -1,0 +1,59 @@
+// Hand-rolled JSON writer: flat sections of key/value pairs are all the
+// structure the bench reports and RunStats emitters need, and the tree
+// stays free of third-party deps. Hoisted from bench/json_writer.hpp so
+// metrics::RunStats can emit the same reports the benches upload
+// (bench/json_writer.hpp now aliases this).
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace fbfs::metrics {
+
+class Json {
+ public:
+  void number(const std::string& key, double v) {
+    std::ostringstream os;
+    os << std::setprecision(6) << v;
+    field(key, os.str());
+  }
+  void integer(const std::string& key, std::uint64_t v) {
+    field(key, std::to_string(v));
+  }
+  void text(const std::string& key, const std::string& v) {
+    field(key, "\"" + v + "\"");
+  }
+  void open(const std::string& key) {
+    indent();
+    out_ << "\"" << key << "\": {\n";
+    ++depth_;
+    first_ = true;
+  }
+  void close() {
+    --depth_;
+    out_ << "\n";
+    for (int i = 0; i <= depth_; ++i) out_ << "  ";
+    out_ << "}";
+    first_ = false;
+  }
+  std::string str() const { return "{\n" + out_.str() + "\n}\n"; }
+
+ private:
+  void field(const std::string& key, const std::string& value) {
+    indent();
+    out_ << "\"" << key << "\": " << value;
+    first_ = false;
+  }
+  void indent() {
+    if (!first_) out_ << ",\n";
+    for (int i = 0; i <= depth_; ++i) out_ << "  ";
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace fbfs::metrics

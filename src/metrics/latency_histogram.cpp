@@ -1,0 +1,86 @@
+#include "metrics/latency_histogram.hpp"
+
+#include <cstdio>
+
+namespace fbfs::metrics {
+
+std::string format_ns(std::uint64_t ns) {
+  char buf[32];
+  const double v = static_cast<double>(ns);
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", v / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+std::string LatencyHistogram::summary() const {
+  if (count_ == 0) return "n=0";
+  return "n=" + std::to_string(count_) +
+         " avg=" + format_ns(static_cast<std::uint64_t>(mean())) +
+         " p50=" + format_ns(percentile(0.5)) +
+         " p95=" + format_ns(percentile(0.95)) + " max=" + format_ns(max_);
+}
+
+std::size_t thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedHistogram::ShardedHistogram(std::size_t shards) {
+  const std::size_t n = std::clamp<std::size_t>(round_up_pow2(shards), 1, 256);
+  mask_ = n - 1;
+  shards_ = std::make_unique<Shard[]>(n);
+}
+
+LatencyHistogram ShardedHistogram::snapshot() const {
+  LatencyHistogram out;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    const Shard& s = shards_[i];
+    for (std::size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      out.buckets_[b] += s.buckets[b].load(kRelaxed);
+    }
+    out.count_ += s.count.load(kRelaxed);
+    out.sum_ += s.sum.load(kRelaxed);
+    out.min_ = std::min(out.min_, s.min.load(kRelaxed));
+    out.max_ = std::max(out.max_, s.max.load(kRelaxed));
+  }
+  return out;
+}
+
+LatencyHistogram ShardedHistogram::drain() {
+  LatencyHistogram out;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    Shard& s = shards_[i];
+    for (std::size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      out.buckets_[b] += s.buckets[b].exchange(0, kRelaxed);
+    }
+    out.count_ += s.count.exchange(0, kRelaxed);
+    out.sum_ += s.sum.exchange(0, kRelaxed);
+    out.min_ = std::min(
+        out.min_,
+        s.min.exchange(std::numeric_limits<std::uint64_t>::max(), kRelaxed));
+    out.max_ = std::max(out.max_, s.max.exchange(0, kRelaxed));
+  }
+  return out;
+}
+
+}  // namespace fbfs::metrics

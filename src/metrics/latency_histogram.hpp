@@ -1,0 +1,187 @@
+// LatencyHistogram: log2-bucketed latency accounting, exactly mergeable.
+//
+// The shape is elbencho's telemetry (LatencyHistogram.h): a fixed array
+// of power-of-two buckets plus exact count/sum/min/max, so merging two
+// histograms loses nothing — merge(a, b) has exactly the counters a
+// serial recording of both streams would have (DESIGN-style invariant
+// the metrics tests pin). Percentiles are estimated from the bucket
+// walk and are monotone in p by construction.
+//
+// Hot paths never touch a plain LatencyHistogram concurrently. They
+// record through a ShardedHistogram: per-thread shards of relaxed
+// atomics, zero locks, merged into a plain histogram at phase
+// boundaries (Collector::end_iteration). Relaxed fetch_add keeps the
+// totals exact; the merge point runs after the recording threads have
+// been joined, which is what makes the drained snapshot a consistent
+// histogram and not a torn one.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace fbfs::metrics {
+
+class ShardedHistogram;
+
+class LatencyHistogram {
+ public:
+  /// bucket_of(v) = bit_width(v): bucket 0 holds exactly {0}, bucket b
+  /// holds [2^(b-1), 2^b). 65 buckets cover all of uint64.
+  static constexpr std::size_t kNumBuckets = 65;
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Largest value bucket b holds (inclusive).
+  static std::uint64_t bucket_upper(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  /// Exact: count/sum/min/max and every bucket of the merged histogram
+  /// equal those of one histogram fed both recording streams.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket_count(std::size_t b) const { return buckets_[b]; }
+  bool empty() const { return count_ == 0; }
+
+  double mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Estimated p-quantile (p in [0, 1]): the inclusive upper bound of
+  /// the bucket holding the ceil(p * count)-th smallest sample, clamped
+  /// into [min, max]. Monotone in p (the rank, the bucket index, the
+  /// upper bound, and the clamp are each monotone); exact whenever the
+  /// target bucket holds a single distinct value (so percentile(1) ==
+  /// max and single-sample histograms are exact at every p).
+  std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    const double scaled = std::ceil(p * static_cast<double>(count_));
+    const std::uint64_t rank = std::clamp<std::uint64_t>(
+        scaled <= 0.0 ? 0 : static_cast<std::uint64_t>(scaled), 1, count_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) {
+        return std::clamp(bucket_upper(b), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  /// "n=12 avg=1.2ms p50=1.0ms p95=2.1ms max=4.0ms" (for table cells
+  /// and log lines). Empty histograms render as "n=0".
+  std::string summary() const;
+
+  void reset() { *this = LatencyHistogram{}; }
+
+ private:
+  friend class ShardedHistogram;
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+/// "1.2us" / "3.4ms" / "5.6s" for a nanosecond quantity.
+std::string format_ns(std::uint64_t ns);
+
+/// Stable small ordinal for the calling thread (assigned on first use,
+/// process-wide). Shard selection for every ShardedHistogram.
+std::size_t thread_ordinal();
+
+/// The hot-path recorder: shard_count() cache-line-sized shards of
+/// relaxed atomics. record() is wait-free apart from the min/max CAS
+/// loops and takes no lock; threads land on shards by thread_ordinal(),
+/// so with shards >= recording threads there is no sharing at all (and
+/// a collision only costs contention, never accuracy — fetch_add is
+/// exact regardless).
+class ShardedHistogram {
+ public:
+  /// `shards` is rounded up to a power of two and clamped to [1, 256].
+  explicit ShardedHistogram(std::size_t shards = 16);
+
+  std::size_t shard_count() const { return mask_ + 1; }
+
+  void record(std::uint64_t v) {
+    Shard& s = shards_[thread_ordinal() & mask_];
+    s.buckets[LatencyHistogram::bucket_of(v)].fetch_add(1, kRelaxed);
+    s.count.fetch_add(1, kRelaxed);
+    s.sum.fetch_add(v, kRelaxed);
+    atomic_min(s.min, v);
+    atomic_max(s.max, v);
+  }
+
+  /// Merged view of every shard. Exact when the recording threads have
+  /// quiesced (the engines call this at phase boundaries, after joins);
+  /// under concurrent recording it is a consistent-enough live view for
+  /// the sampler, not an invariant-bearing snapshot.
+  LatencyHistogram snapshot() const;
+
+  /// snapshot() + reset of every shard. Same quiescence caveat.
+  LatencyHistogram drain();
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, LatencyHistogram::kNumBuckets>
+        buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  static void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(kRelaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v, kRelaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(kRelaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v, kRelaxed)) {
+    }
+  }
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace fbfs::metrics

@@ -1,0 +1,56 @@
+// LiveOps: monotone run-wide counters the hot paths bump as they go —
+// elbencho's LiveOps.h shape. Unlike RunStats (which materialises at
+// iteration boundaries), these move WHILE a phase runs, so the optional
+// sampler thread can log live rate lines mid-round. All relaxed
+// atomics: exact totals, no ordering obligations, no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fbfs::metrics {
+
+struct LiveOpsSnapshot {
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t updates_emitted = 0;
+  std::uint64_t updates_sieved = 0;  // active-source edges whose scatter
+                                     // declined to emit
+  std::uint64_t partitions_scattered = 0;
+  std::uint64_t partitions_skipped = 0;
+  std::uint64_t iterations = 0;
+};
+
+class LiveOps {
+ public:
+  void add_edges_scanned(std::uint64_t n) { edges_scanned_.fetch_add(n, kR); }
+  void add_updates(std::uint64_t emitted, std::uint64_t sieved) {
+    updates_emitted_.fetch_add(emitted, kR);
+    updates_sieved_.fetch_add(sieved, kR);
+  }
+  void add_partition_scattered() { partitions_scattered_.fetch_add(1, kR); }
+  void add_partition_skipped() { partitions_skipped_.fetch_add(1, kR); }
+  void add_iteration() { iterations_.fetch_add(1, kR); }
+
+  LiveOpsSnapshot snapshot() const {
+    LiveOpsSnapshot s;
+    s.edges_scanned = edges_scanned_.load(kR);
+    s.updates_emitted = updates_emitted_.load(kR);
+    s.updates_sieved = updates_sieved_.load(kR);
+    s.partitions_scattered = partitions_scattered_.load(kR);
+    s.partitions_skipped = partitions_skipped_.load(kR);
+    s.iterations = iterations_.load(kR);
+    return s;
+  }
+
+ private:
+  static constexpr std::memory_order kR = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> edges_scanned_{0};
+  std::atomic<std::uint64_t> updates_emitted_{0};
+  std::atomic<std::uint64_t> updates_sieved_{0};
+  std::atomic<std::uint64_t> partitions_scattered_{0};
+  std::atomic<std::uint64_t> partitions_skipped_{0};
+  std::atomic<std::uint64_t> iterations_{0};
+};
+
+}  // namespace fbfs::metrics

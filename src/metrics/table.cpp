@@ -1,0 +1,104 @@
+#include "metrics/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace fbfs::metrics {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FB_CHECK_MSG(cells.size() == headers_.size(),
+               "table row has " << cells.size() << " cells, expected "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (c == 0) {
+        os << row[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << row[c];
+      }
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  FB_CHECK_MSG(out.good(), "cannot write " << path);
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::bytes(std::uint64_t v) {
+  char buf[32];
+  const double d = static_cast<double>(v);
+  if (v < (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(v));
+  } else if (v < (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", d / (1ull << 10));
+  } else if (v < (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", d / (1ull << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", d / (1ull << 30));
+  }
+  return buf;
+}
+
+std::string Table::percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string Table::seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  return buf;
+}
+
+std::string Table::count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (digits.size() - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+void print_experiment_header(const std::string& title,
+                             const std::string& claim) {
+  std::cout << "==== " << title << " ====\n"
+            << "paper claim: " << claim << "\n\n";
+}
+
+}  // namespace fbfs::metrics

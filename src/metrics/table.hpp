@@ -1,0 +1,41 @@
+// Aligned text tables for stdout reports, plus the shared experiment
+// header banner. The formatting statics (bytes / percent / seconds) are
+// what keep every bench main printing the same units.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace fbfs::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-aligns every column but the first to its widest cell.
+  void print(std::ostream& os = std::cout) const;
+
+  /// Plain comma-separated dump (header row first). Aborts (FB_CHECK)
+  /// when the file cannot be written.
+  void write_csv_file(const std::string& path) const;
+
+  static std::string bytes(std::uint64_t v);    // "12.3 MiB"
+  static std::string percent(double ratio);     // 0.41 -> "41.0%"
+  static std::string seconds(double s);         // "1.234 s"
+  static std::string count(std::uint64_t v);    // grouped: "1,234,567"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Banner every figure bench prints first: the figure's title and the
+/// paper's claim it reproduces.
+void print_experiment_header(const std::string& title,
+                             const std::string& claim);
+
+}  // namespace fbfs::metrics

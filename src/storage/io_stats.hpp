@@ -25,6 +25,21 @@ struct IoStatsSnapshot {
   std::uint64_t model_busy_ns = 0;  // unscaled modelled service time
 
   double busy_seconds() const { return static_cast<double>(busy_ns) * 1e-9; }
+
+  /// Counter deltas between two snapshots of the same IoStats — what a
+  /// round or phase cost. All counters are monotone, so every field of
+  /// the result is exact (no sampling, no estimation).
+  IoStatsSnapshot delta(const IoStatsSnapshot& since) const {
+    IoStatsSnapshot d;
+    d.bytes_read = bytes_read - since.bytes_read;
+    d.bytes_written = bytes_written - since.bytes_written;
+    d.read_ops = read_ops - since.read_ops;
+    d.write_ops = write_ops - since.write_ops;
+    d.seeks = seeks - since.seeks;
+    d.busy_ns = busy_ns - since.busy_ns;
+    d.model_busy_ns = model_busy_ns - since.model_busy_ns;
+    return d;
+  }
 };
 
 class IoStats {

@@ -27,37 +27,20 @@
 #include "common/parallel.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/iteration_stats.hpp"
 #include "storage/reader_factory.hpp"
 #include "storage/storage_plan.hpp"
 #include "storage/stream.hpp"
 
 namespace fbfs::xstream {
 
-/// Byte traffic of one stream role over one iteration.
-struct RoleIo {
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
-};
-
-struct IterationStats {
-  std::uint32_t iteration = 0;             // 0-based round index
-  std::uint32_t partitions_scattered = 0;  // partitions not skipped
-  std::uint32_t partitions_skipped = 0;    // no active source in range
-  std::uint64_t updates_emitted = 0;
-  std::uint64_t activated = 0;  // vertices active entering the next round
-  double seconds = 0.0;
-  double scatter_seconds = 0.0;  // edge-scan + update-shuffle share
-  double gather_seconds = 0.0;   // update-fold + apply + write-back share
-  /// Per-role device-counter deltas over this round, indexed by
-  /// io::Role — how trimming's read-volume cut shows up per iteration.
-  /// Exact per role when the plan's roles are dedicated(); roles that
-  /// share a device all surface the shared device's counters.
-  std::array<RoleIo, io::kNumRoles> io{};
-
-  const RoleIo& role_io(io::Role role) const {
-    return io[static_cast<std::size_t>(role)];
-  }
-};
+/// Per-round stats are the hoisted metrics records now (one struct for
+/// every engine; src/metrics/iteration_stats.hpp). The aliases keep the
+/// engines' historical spelling — xstream::IterationStats predates the
+/// metrics layer and the tests/benches use it.
+using RoleIo = metrics::RoleIo;
+using IterationStats = metrics::IterationStats;
 
 /// On-device file names (rounds overwrite in place).
 std::string state_file_name(const graph::PartitionedGraph& pg,
@@ -93,19 +76,6 @@ void write_records(io::Device& device, const std::string& name,
   io::RecordWriter<T> writer(*file, buffer_bytes);
   writer.append_batch(records);
   writer.flush();
-}
-
-/// Fills stats.io with the per-role deltas accumulated since `before`
-/// (a plan.stats_snapshot() taken at the start of the round).
-inline void capture_role_deltas(
-    const io::StoragePlan& plan,
-    const std::array<io::IoStatsSnapshot, io::kNumRoles>& before,
-    IterationStats& stats) {
-  const auto now = plan.stats_snapshot();
-  for (std::size_t r = 0; r < io::kNumRoles; ++r) {
-    stats.io[r].bytes_read = now[r].bytes_read - before[r].bytes_read;
-    stats.io[r].bytes_written = now[r].bytes_written - before[r].bytes_written;
-  }
 }
 
 /// The init pass: one scan per partition builds local out-degrees off
@@ -231,6 +201,12 @@ struct NullTrimSink {
 /// updates into the fan-out, and shows every edge + its activity to
 /// `trim`. Returns the number of edges scanned.
 ///
+/// With a collector, the fan-out flushes are timed as shuffle-flush
+/// latencies and the scan feeds the live op counters. The counting
+/// itself is plain local increments either way; only the flush to the
+/// LiveOps atomics is gated on the collector, so a null collector costs
+/// one pointer test per batch/chunk — no clock reads, no atomics.
+///
 /// Serial (no pool): one streaming reader honouring `reader` (including
 /// prefetch mode), retiring each delivered batch immediately — the
 /// single-threaded engines' exact behaviour. Parallel: the stream is
@@ -248,21 +224,27 @@ std::uint64_t scatter_partition(
     const graph::PartitionLayout& layout, graph::VertexId part_begin,
     const std::vector<typename P::State>& states, const AtomicBitmap& active,
     const P& program, const io::ReaderOptions& reader,
-    UpdateFanout<typename P::Update>& fanout, TrimSink& trim) {
+    UpdateFanout<typename P::Update>& fanout, TrimSink& trim,
+    metrics::Collector* collector = nullptr) {
   using Update = typename P::Update;
   const std::uint32_t num_partitions = layout.num_partitions();
 
   // Shared per-batch step: scatter into per-destination buckets, show
-  // every edge to the trim sink.
+  // every edge to the trim sink. `emitted`/`sieved` are the caller's
+  // plain local counters (no atomics on the per-edge path).
   const auto process = [&](std::span<const graph::Edge> batch,
                            std::vector<std::vector<Update>>& buckets,
-                           typename TrimSink::ChunkState& chunk) {
+                           typename TrimSink::ChunkState& chunk,
+                           std::uint64_t& emitted, std::uint64_t& sieved) {
     for (const graph::Edge& e : batch) {
       const bool src_active = P::kScatterAllVertices || active.test(e.src);
       if (src_active) {
         Update u;
         if (program.scatter(e, states[e.src - part_begin], u)) {
           buckets[layout.owner(u.dst)].push_back(u);
+          ++emitted;
+        } else {
+          ++sieved;
         }
       }
       trim.observe(e, src_active, chunk);
@@ -275,17 +257,27 @@ std::uint64_t scatter_partition(
     std::vector<std::vector<Update>> buckets(num_partitions);
     auto chunk = trim.make_chunk_state();
     std::uint64_t scanned = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t sieved = 0;
     for (auto batch = edges->next_batch(); !batch.empty();
          batch = edges->next_batch()) {
       scanned += batch.size();
-      process(batch, buckets, chunk);
-      for (std::uint32_t q = 0; q < num_partitions; ++q) {
-        if (!buckets[q].empty()) {
-          fanout.append_batch(q, buckets[q]);
-          buckets[q].clear();
+      process(batch, buckets, chunk, emitted, sieved);
+      {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
+        for (std::uint32_t q = 0; q < num_partitions; ++q) {
+          if (!buckets[q].empty()) {
+            fanout.append_batch(q, buckets[q]);
+            buckets[q].clear();
+          }
         }
+        trim.flush(chunk);
       }
-      trim.flush(chunk);
+    }
+    if (collector != nullptr) {
+      collector->live().add_edges_scanned(scanned);
+      collector->live().add_updates(emitted, sieved);
     }
     return scanned;
   }
@@ -305,6 +297,8 @@ std::uint64_t scatter_partition(
           std::min(chunk_records, num_records - first);
       std::vector<std::vector<Update>> buckets(num_partitions);
       auto chunk = trim.make_chunk_state();
+      std::uint64_t emitted = 0;
+      std::uint64_t sieved = 0;
       bool processed = false;
       try {
         // Each chunk is one positional read: a plain reader whose
@@ -325,7 +319,7 @@ std::uint64_t scatter_partition(
                                   << remaining << " records short)");
           const std::size_t take = static_cast<std::size_t>(
               std::min<std::uint64_t>(batch.size(), remaining));
-          process(batch.subspan(0, take), buckets, chunk);
+          process(batch.subspan(0, take), buckets, chunk, emitted, sieved);
           remaining -= take;
         }
         processed = true;
@@ -339,6 +333,8 @@ std::uint64_t scatter_partition(
       (void)processed;
       gate.wait_turn(c);
       try {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
         for (std::uint32_t q = 0; q < num_partitions; ++q) {
           fanout.append_batch_locked(q, buckets[q]);
         }
@@ -349,6 +345,10 @@ std::uint64_t scatter_partition(
       }
       gate.complete(c);
       scanned.fetch_add(count, std::memory_order_relaxed);
+      if (collector != nullptr) {
+        collector->live().add_edges_scanned(count);
+        collector->live().add_updates(emitted, sieved);
+      }
     }));
   }
   join_all(chunks);
@@ -373,8 +373,8 @@ void gather_partitions(const graph::PartitionedGraph& pg,
                        const io::ReaderOptions& reader,
                        std::size_t write_buffer_bytes, const P& program,
                        const std::vector<std::uint64_t>& pending_updates,
-                       AtomicBitmap& next_active,
-                       const ExecContext& exec = {}) {
+                       AtomicBitmap& next_active, const ExecContext& exec = {},
+                       metrics::Collector* collector = nullptr) {
   using State = typename P::State;
   using Update = typename P::Update;
   const graph::PartitionLayout& layout = pg.layout;
@@ -384,6 +384,7 @@ void gather_partitions(const graph::PartitionedGraph& pg,
     std::vector<State> states = read_records<State>(
         plan.state(), state_file_name(pg, q), reader, layout.size(q));
     if (pending_updates[q] > 0) {
+      metrics::ScopedPhase gather_timer(collector, metrics::Phase::kGather);
       if (!exec.parallel()) {
         auto updates = io::open_record_reader<Update>(
             plan.updates(), update_file_name(pg, q), reader);
@@ -426,6 +427,7 @@ void gather_partitions(const graph::PartitionedGraph& pg,
       }
     }
     if constexpr (P::kNeedsApply) {
+      metrics::ScopedPhase apply_timer(collector, metrics::Phase::kApply);
       const auto apply_range = [&](const IndexRange& r) {
         for (std::uint64_t i = r.begin; i < r.end; ++i) {
           program.apply(begin + static_cast<graph::VertexId>(i), states[i]);

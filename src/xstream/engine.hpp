@@ -46,6 +46,8 @@
 #include "common/thread_pool.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/device_usage.hpp"
 #include "storage/reader_factory.hpp"
 #include "storage/storage_plan.hpp"
 #include "xstream/detail.hpp"
@@ -67,6 +69,11 @@ struct EngineOptions {
   /// update files, and stay files are bit-identical at every count
   /// (chunk-ordered hand-off; see xstream/detail.hpp).
   std::uint32_t num_threads = 1;
+  /// Optional observability hook (not owned). Null runs the engine
+  /// exactly as before — no allocation, no clock reads, no extra
+  /// atomics — and collection never changes results or on-device bytes
+  /// either way (see metrics/collector.hpp).
+  metrics::Collector* collector = nullptr;
 };
 
 /// Reads `io.reader` / `io.reader_buffer` (reader_factory),
@@ -115,12 +122,13 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
                                 exec);
 
   // ---- rounds. Stop rules mirror inmem::run exactly.
+  metrics::Collector* const collector = options.collector;
   std::vector<std::uint64_t> pending_updates(num_partitions, 0);
   while (result.iterations < options.max_iterations) {
     Stopwatch round_clock;
     IterationStats stats;
     stats.iteration = result.iterations;
-    const auto io_before = plan.stats_snapshot();
+    const metrics::RoleSnapshots io_before = plan.stats_snapshot();
 
     // Scatter.
     {
@@ -132,22 +140,30 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
         if (!P::kScatterAllVertices &&
             !active.any_in_range(layout.begin(p), layout.end(p))) {
           ++stats.partitions_skipped;
+          if (collector != nullptr) collector->live().add_partition_skipped();
           continue;
         }
         ++stats.partitions_scattered;
+        if (collector != nullptr) collector->live().add_partition_scattered();
+        metrics::ScopedPhase scatter_timer(collector,
+                                           metrics::Phase::kScatter);
         const std::vector<State> states = detail::read_records<State>(
             plan.state(), state_file_name(pg, p), options.reader,
             layout.size(p));
         const std::uint64_t scanned = detail::scatter_partition<P>(
             exec, plan.edges(), pg.partition_file(p),
             pg.edges_per_partition[p], layout, layout.begin(p), states,
-            active, program, options.reader, fanout, no_trim);
+            active, program, options.reader, fanout, no_trim, collector);
         FB_CHECK_MSG(scanned == pg.edges_per_partition[p],
                      pg.partition_file(p)
                          << " scanned " << scanned << " edges, expected "
                          << pg.edges_per_partition[p]);
       }
-      stats.updates_emitted = fanout.close(pending_updates);
+      {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
+        stats.updates_emitted = fanout.close(pending_updates);
+      }
       stats.scatter_seconds = scatter_clock.seconds();
     }
     if (stats.updates_emitted == 0 && !P::kScatterAllVertices) break;
@@ -158,7 +174,7 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
       Stopwatch gather_clock;
       detail::gather_partitions(pg, plan, options.reader,
                                 options.write_buffer_bytes, program,
-                                pending_updates, next_active, exec);
+                                pending_updates, next_active, exec, collector);
       stats.gather_seconds = gather_clock.seconds();
     }
 
@@ -166,9 +182,10 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     std::swap(active, next_active);
     stats.activated = active.count_set();
     stats.seconds = round_clock.seconds();
-    detail::capture_role_deltas(plan, io_before, stats);
+    metrics::capture_iteration_io(plan, io_before, stats);
     detail::log_iteration(P::kName, stats);
     result.per_iteration.push_back(stats);
+    if (collector != nullptr) collector->end_iteration(stats);
     if (!P::kScatterAllVertices && !active.any()) break;
   }
 

@@ -1,0 +1,199 @@
+// Device-usage capture: per-role deltas, distinct-device totals (shared
+// devices counted once), the modelled-busy-time contract against the
+// DeviceModel, the iowait ratio, and the /proc/stat sampler.
+#include "metrics/device_usage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/temp_dir.hpp"
+#include "metrics/cpu_util.hpp"
+#include "storage/device.hpp"
+#include "storage/storage_plan.hpp"
+
+namespace fbfs::metrics {
+namespace {
+
+/// Throttled model with no wall-clock delay: bytes, seeks, and the
+/// MODELLED busy time stay exact while tests run at full speed.
+io::DeviceModel test_model() {
+  io::DeviceModel m;
+  m.name = "test";
+  m.read_mb_s = 100.0;
+  m.write_mb_s = 50.0;
+  m.seek_ns = 1'000'000;
+  m.time_scale = 0.0;
+  return m;
+}
+
+TEST(DeviceUsage, DedicatedPlanAttributesRolesExactly) {
+  TempDir dir("device_usage");
+  io::Device edges(dir.str() + "/edges", test_model());
+  io::Device state(dir.str() + "/state", test_model());
+  io::Device updates(dir.str() + "/updates", test_model());
+  io::Device stay(dir.str() + "/stay", test_model());
+  const io::StoragePlan plan = io::StoragePlan::single(edges)
+                                   .assign(io::Role::kState, state)
+                                   .assign(io::Role::kUpdates, updates)
+                                   .assign(io::Role::kStay, stay);
+
+  const RoleSnapshots before = plan.stats_snapshot();
+  const std::vector<std::byte> buf(4096, std::byte{1});
+  {
+    auto f = edges.open("a", /*truncate=*/true);
+    f->append(buf.data(), buf.size());
+    std::vector<std::byte> rd(buf.size());
+    f->read_at(0, rd.data(), rd.size());
+  }
+  {
+    auto f = updates.open("b", /*truncate=*/true);
+    f->append(buf.data(), 100);
+  }
+
+  IterationStats stats;
+  capture_iteration_io(plan, before, stats);
+
+  const RoleIo& e = stats.role_io(io::Role::kEdges);
+  EXPECT_EQ(e.bytes_written, buf.size());
+  EXPECT_EQ(e.bytes_read, buf.size());
+  EXPECT_EQ(e.write_ops, 1u);
+  EXPECT_EQ(e.read_ops, 1u);
+  EXPECT_EQ(e.seeks, 2u);  // fresh head, then a rewind to offset 0
+  const RoleIo& u = stats.role_io(io::Role::kUpdates);
+  EXPECT_EQ(u.bytes_written, 100u);
+  EXPECT_EQ(u.bytes_read, 0u);
+  EXPECT_EQ(stats.role_io(io::Role::kState).bytes_moved(), 0u);
+  EXPECT_EQ(stats.role_io(io::Role::kStay).bytes_moved(), 0u);
+
+  // Dedicated roles: the distinct-device totals are plain sums.
+  EXPECT_EQ(stats.device_bytes_read, buf.size());
+  EXPECT_EQ(stats.device_bytes_written, buf.size() + 100);
+  EXPECT_EQ(stats.device_model_busy_ns,
+            e.model_busy_ns + u.model_busy_ns);
+  EXPECT_EQ(stats.max_device_busy_ns,
+            std::max(e.busy_ns, u.busy_ns));
+}
+
+TEST(DeviceUsage, SharedDeviceIsCountedOnceInTotals) {
+  TempDir dir("device_usage");
+  io::Device only(dir.str(), test_model());
+  const io::StoragePlan plan = io::StoragePlan::single(only);
+
+  const RoleSnapshots before = plan.stats_snapshot();
+  const std::vector<std::byte> buf(2048, std::byte{2});
+  only.open("x", /*truncate=*/true)->append(buf.data(), buf.size());
+
+  IterationStats stats;
+  capture_iteration_io(plan, before, stats);
+
+  // Every role surfaces the shared device's counters...
+  for (std::size_t r = 0; r < io::kNumRoles; ++r) {
+    EXPECT_EQ(stats.io[r].bytes_written, buf.size()) << "role " << r;
+  }
+  // ...but the device totals count the device once, not four times.
+  EXPECT_EQ(stats.device_bytes_written, buf.size());
+  EXPECT_EQ(stats.device_model_busy_ns,
+            stats.role_io(io::Role::kEdges).model_busy_ns);
+  EXPECT_EQ(stats.max_device_busy_ns, stats.device_busy_ns);
+}
+
+TEST(DeviceUsage, DualPlanDedupesByDeviceNotByRole) {
+  // Seek-only model at scale 1: each append charges exactly seek_ns of
+  // SCALED busy time, so the busy totals and the bottleneck max are
+  // pinned to known values.
+  io::DeviceModel model;
+  model.name = "seek-only";
+  model.seek_ns = 1'000;
+  model.time_scale = 1.0;
+  TempDir dir("device_usage");
+  io::Device main_dev(dir.str() + "/main", model);
+  io::Device aux_dev(dir.str() + "/aux", model);
+  const io::StoragePlan plan = io::StoragePlan::dual(main_dev, aux_dev);
+
+  const RoleSnapshots before = plan.stats_snapshot();
+  const std::vector<std::byte> buf(1024, std::byte{3});
+  {
+    auto f = main_dev.open("m", /*truncate=*/true);
+    f->append(buf.data(), buf.size());  // seek
+    f->append(buf.data(), 512);         // sequential: free
+  }
+  aux_dev.open("a", /*truncate=*/true)->append(buf.data(), 512);  // seek
+
+  IterationStats stats;
+  capture_iteration_io(plan, before, stats);
+  EXPECT_EQ(stats.device_bytes_written, buf.size() + 512 + 512);
+  EXPECT_EQ(stats.device_busy_ns, 2'000u);      // one seek per device
+  EXPECT_EQ(stats.max_device_busy_ns, 1'000u);  // neither dominates
+  EXPECT_EQ(stats.device_busy_ns,
+            main_dev.stats().busy_ns() + aux_dev.stats().busy_ns());
+}
+
+TEST(DeviceUsage, ModelledBusyTimePinsToTheDeviceModel) {
+  // The IoStats busy-time contract (the Fig. 6 input): every charge
+  // adds exactly the DeviceModel's service time for that operation to
+  // model_busy_ns, and time_scale scales only the wall-clock share
+  // (busy_ns) — at scale 0 the modelled account is still exact.
+  TempDir dir("device_usage");
+  const io::DeviceModel model = test_model();
+  io::Device dev(dir.str(), model);
+
+  auto f = dev.open("pin", /*truncate=*/true);
+  const std::vector<std::byte> buf(8192, std::byte{4});
+  f->append(buf.data(), 8192);       // fresh head: seek + transfer
+  f->append(buf.data(), 4096);       // sequential append: transfer only
+  std::vector<std::byte> rd(1024);
+  f->read_at(0, rd.data(), 1024);    // rewind: seek + transfer
+
+  const std::uint64_t expected = model.write_service_ns(8192, true) +
+                                 model.write_service_ns(4096, false) +
+                                 model.read_service_ns(1024, true);
+  EXPECT_EQ(dev.stats().model_busy_ns(), expected);
+  EXPECT_EQ(dev.stats().busy_ns(), 0u);  // time_scale 0: no wall share
+  EXPECT_GT(expected, model.seek_ns * 2);
+}
+
+TEST(DeviceUsage, ModelledIowaitRatioIsClampedShare) {
+  IterationStats stats;
+  EXPECT_DOUBLE_EQ(stats.modelled_iowait(), 0.0);  // no wall time yet
+  stats.seconds = 2.0;
+  stats.max_device_busy_ns = 1'000'000'000;  // 1 s busy of 2 s wall
+  EXPECT_DOUBLE_EQ(stats.modelled_iowait(), 0.5);
+  stats.max_device_busy_ns = 5'000'000'000;  // oversubscribed: clamp
+  EXPECT_DOUBLE_EQ(stats.modelled_iowait(), 1.0);
+}
+
+TEST(CpuUtil, UsageBetweenSamplesIsAShare) {
+  CpuTimes a;
+  a.busy_ticks = 100;
+  a.idle_ticks = 100;
+  a.iowait_ticks = 10;
+  a.total_ticks = 210;
+  CpuTimes b = a;
+  b.busy_ticks += 30;
+  b.idle_ticks += 50;
+  b.iowait_ticks += 20;
+  b.total_ticks += 100;
+  const CpuUsage usage = cpu_usage_between(a, b);
+  EXPECT_TRUE(usage.valid);
+  EXPECT_DOUBLE_EQ(usage.busy, 0.3);
+  EXPECT_DOUBLE_EQ(usage.iowait, 0.2);
+
+  EXPECT_FALSE(cpu_usage_between(a, a).valid);  // empty interval
+  EXPECT_FALSE(cpu_usage_between(b, a).valid);  // regression
+}
+
+TEST(CpuUtil, ProcStatSamplesOnLinux) {
+  // The repo only targets Linux; /proc/stat must parse, and ticks are
+  // cumulative so a second sample never regresses.
+  const auto first = sample_cpu_times();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GT(first->total_ticks, 0u);
+  const auto second = sample_cpu_times();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GE(second->total_ticks, first->total_ticks);
+}
+
+}  // namespace
+}  // namespace fbfs::metrics

@@ -1,0 +1,191 @@
+// Invariants of the log2 histogram: exact merge (count/sum/min/max and
+// every bucket preserved), monotone percentiles, and sharded concurrent
+// recording equal to serial recording of the same multiset. CI runs
+// this label under TSan — the sharded recorder is the one metrics piece
+// hot threads hit concurrently.
+#include "metrics/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fbfs::metrics {
+namespace {
+
+TEST(LatencyHistogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of((std::uint64_t{1} << 63)), 64u);
+  EXPECT_EQ(
+      LatencyHistogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+      64u);
+  // Every bucket's upper bound maps back into its own bucket.
+  for (std::size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_upper(b)),
+              b);
+  }
+}
+
+TEST(LatencyHistogram, RecordKeepsExactMoments) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reads 0, not the sentinel
+  for (const std::uint64_t v : {7u, 3u, 100u, 3u, 0u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 113u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 113.0 / 5.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // {3, 3}
+  EXPECT_EQ(h.bucket_count(3), 1u);  // {7}
+  EXPECT_EQ(h.bucket_count(7), 1u);  // {100}
+}
+
+TEST(LatencyHistogram, MergeEqualsSerialRecording) {
+  // The mergeability invariant: merge(a, b) must carry exactly the
+  // counters one histogram fed both streams would carry — per bucket,
+  // not just in aggregate.
+  Rng rng(42);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram serial;
+  for (int i = 0; i < 10'000; ++i) {
+    // Spread across many buckets: random bit width, random value.
+    const std::uint64_t v =
+        rng.next_u64() >> (rng.next_u64() % 64);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    serial.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_EQ(a.sum(), serial.sum());
+  EXPECT_EQ(a.min(), serial.min());
+  EXPECT_EQ(a.max(), serial.max());
+  for (std::size_t bu = 0; bu < LatencyHistogram::kNumBuckets; ++bu) {
+    EXPECT_EQ(a.bucket_count(bu), serial.bucket_count(bu)) << "bucket " << bu;
+  }
+  // Merging an empty histogram changes nothing, either way around.
+  LatencyHistogram empty;
+  const std::uint64_t before = a.sum();
+  a.merge(empty);
+  EXPECT_EQ(a.sum(), before);
+  empty.merge(a);
+  EXPECT_EQ(empty.sum(), a.sum());
+  EXPECT_EQ(empty.min(), a.min());
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndClamped) {
+  Rng rng(7);
+  LatencyHistogram h;
+  for (int i = 0; i < 5'000; ++i) h.record(rng.next_u64() % 1'000'000);
+  std::uint64_t last = 0;
+  for (double p = 0.0; p <= 1.0; p += 0.01) {
+    const std::uint64_t q = h.percentile(p);
+    EXPECT_GE(q, last) << "p=" << p;
+    EXPECT_GE(q, h.min());
+    EXPECT_LE(q, h.max());
+    last = q;
+  }
+  EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, SingleValueHistogramIsExactEverywhere) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(12'345);
+  for (const double p : {0.0, 0.01, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(h.percentile(p), 12'345u) << "p=" << p;
+  }
+  EXPECT_EQ(h.percentile(0.5), h.min());
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsInert) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.summary(), "n=0");
+}
+
+TEST(LatencyHistogram, FormatNsPicksUnits) {
+  EXPECT_EQ(format_ns(0), "0ns");
+  EXPECT_EQ(format_ns(999), "999ns");
+  EXPECT_NE(format_ns(1'500).find("us"), std::string::npos);
+  EXPECT_NE(format_ns(2'500'000).find("ms"), std::string::npos);
+  EXPECT_NE(format_ns(3'000'000'000).find("s"), std::string::npos);
+}
+
+TEST(ShardedHistogram, ShardCountIsPow2Clamped) {
+  EXPECT_EQ(ShardedHistogram(0).shard_count(), 1u);
+  EXPECT_EQ(ShardedHistogram(1).shard_count(), 1u);
+  EXPECT_EQ(ShardedHistogram(3).shard_count(), 4u);
+  EXPECT_EQ(ShardedHistogram(16).shard_count(), 16u);
+  EXPECT_EQ(ShardedHistogram(10'000).shard_count(), 256u);
+}
+
+TEST(ShardedHistogram, ConcurrentRecordingEqualsSerialTotals) {
+  // 8 threads record deterministic per-thread streams; the drained
+  // snapshot must equal a serial histogram of the union — exactly, per
+  // bucket. TSan covers the relaxed-atomic recording path here.
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 25'000;
+  ShardedHistogram sharded(kThreads);
+  LatencyHistogram serial;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.record(rng.next_u64() >> (rng.next_u64() % 64));
+    }
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        sharded.record(rng.next_u64() >> (rng.next_u64() % 64));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const LatencyHistogram merged = sharded.drain();
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.sum(), serial.sum());
+  EXPECT_EQ(merged.min(), serial.min());
+  EXPECT_EQ(merged.max(), serial.max());
+  for (std::size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    EXPECT_EQ(merged.bucket_count(b), serial.bucket_count(b))
+        << "bucket " << b;
+  }
+}
+
+TEST(ShardedHistogram, DrainResetsForTheNextPhase) {
+  ShardedHistogram sharded(4);
+  sharded.record(10);
+  sharded.record(20);
+  const LatencyHistogram first = sharded.drain();
+  EXPECT_EQ(first.count(), 2u);
+  EXPECT_EQ(first.sum(), 30u);
+  EXPECT_TRUE(sharded.snapshot().empty());
+  // Recording after a drain starts a fresh phase, min/max included.
+  sharded.record(5);
+  const LatencyHistogram second = sharded.drain();
+  EXPECT_EQ(second.count(), 1u);
+  EXPECT_EQ(second.min(), 5u);
+  EXPECT_EQ(second.max(), 5u);
+}
+
+}  // namespace
+}  // namespace fbfs::metrics

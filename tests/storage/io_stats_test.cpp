@@ -46,6 +46,38 @@ TEST(IoStats, ConcurrentRecordersKeepExactTotals) {
   EXPECT_EQ(stats.model_busy_ns(), 11 * kTotalOps);
 }
 
+TEST(IoStats, SnapshotDeltaIsExactPerField) {
+  // delta(since) is what the metrics layer brackets every round with;
+  // all seven counters must subtract exactly, busy time included.
+  IoStats stats;
+  stats.record_read(100);
+  stats.record_write(200);
+  stats.record_seek();
+  stats.record_busy(7, 11);
+  const IoStatsSnapshot before = stats.snapshot();
+  stats.record_read(30);
+  stats.record_write(40);
+  stats.record_write(5);
+  stats.record_seek();
+  stats.record_seek();
+  stats.record_busy(13, 17);
+  const IoStatsSnapshot d = stats.snapshot().delta(before);
+  EXPECT_EQ(d.bytes_read, 30u);
+  EXPECT_EQ(d.bytes_written, 45u);
+  EXPECT_EQ(d.read_ops, 1u);
+  EXPECT_EQ(d.write_ops, 2u);
+  EXPECT_EQ(d.seeks, 2u);
+  EXPECT_EQ(d.busy_ns, 13u);
+  EXPECT_EQ(d.model_busy_ns, 17u);
+  // An empty interval deltas to all zeros.
+  const IoStatsSnapshot now = stats.snapshot();
+  const IoStatsSnapshot zero = now.delta(now);
+  EXPECT_EQ(zero.bytes_read + zero.bytes_written + zero.read_ops +
+                zero.write_ops + zero.seeks + zero.busy_ns +
+                zero.model_busy_ns,
+            0u);
+}
+
 TEST(IoStats, SnapshotsRaceRecordersWithoutCorruption) {
   // snapshot() is what StoragePlan::stats_snapshot and the engines'
   // per-round deltas call while workers are mid-flight; every observed
