@@ -85,11 +85,16 @@ metrics::RunStats run_bfs(const Dataset& ds, const SystemOptions& options) {
     core::EngineOptions engine;
     engine.num_threads = options.num_threads;
     engine.trim_min_dead_fraction = options.trim_min_dead_fraction;
+    engine.update_codec = options.update_codec;
+    engine.stay_codec = options.update_codec;
+    engine.sieve_updates = options.sieve_updates;
     engine.collector = &collector;
     states = core::run(ds.pg, plan, program, engine).states;
   } else {
     xstream::EngineOptions engine;
     engine.num_threads = options.num_threads;
+    engine.update_codec = options.update_codec;
+    engine.sieve_updates = options.sieve_updates;
     engine.collector = &collector;
     states = xstream::run(ds.pg, plan, program, engine).states;
   }

@@ -23,6 +23,7 @@
 #include "graph/program.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/run_stats.hpp"
+#include "storage/codec.hpp"
 #include "storage/device.hpp"
 
 namespace fbfs::bench {
@@ -58,6 +59,12 @@ struct SystemOptions {
   /// until 25% of a partition's input is dead before paying for a
   /// rewrite), as Figs. 4-7 do; 0 restores eager trimming.
   double trim_min_dead_fraction = 0.25;
+  /// Update-stream codec policy (storage/codec.hpp), threaded into
+  /// either engine; fastbfs runs its stay streams under the same
+  /// policy, matching the `updates.codec` config default.
+  io::codec::Policy update_codec = io::codec::Policy::kRaw;
+  /// Staging-buffer sieve (exact for BFS's min-fold gather).
+  bool sieve_updates = false;
   metrics::CollectorOptions collector;
 };
 

@@ -69,16 +69,23 @@ int main(int argc, char** argv) {
 
   metrics::Table table({"dataset", "xstream read", "fastbfs read",
                         "input cut", "xs moved", "fb moved", "overall cut",
-                        "xs update write share"});
+                        "xs update write share", "fb+codec upd wr",
+                        "upd write cut"});
   double sum_input_cut = 0.0;
   double sum_overall_cut = 0.0;
   double rmat_update_share = 0.0;
+  double rmat_update_write_cut = 0.0;
   for (const bench::Dataset& ds : datasets) {
     bench::SystemOptions options;
     options.fastbfs = false;
     const metrics::RunStats xs = bench::run_bfs(ds, options);
     options.fastbfs = true;
     const metrics::RunStats fb = bench::run_bfs(ds, options);
+    // The PR 7 configuration: same trimming engine, update and stay
+    // streams under the auto codec with the staging sieve on.
+    options.update_codec = io::codec::Policy::kAuto;
+    options.sieve_updates = true;
+    const metrics::RunStats fbc = bench::run_bfs(ds, options);
 
     const std::uint64_t xs_read = edge_input_read(xs);
     const std::uint64_t fb_read = edge_input_read(fb);
@@ -93,9 +100,17 @@ int main(int argc, char** argv) {
     const double update_share =
         static_cast<double>(xs.bytes_written(io::Role::kUpdates)) /
         static_cast<double>(xs.device_bytes_written());
+    // And the PR 7 lever against that shape: codec + sieve vs the raw
+    // fastbfs run's update-stream writes.
+    const double update_write_cut =
+        1.0 - static_cast<double>(fbc.bytes_written(io::Role::kUpdates)) /
+                  static_cast<double>(fb.bytes_written(io::Role::kUpdates));
     sum_input_cut += input_cut;
     sum_overall_cut += overall_cut;
-    if (ds.name == "rmat") rmat_update_share = update_share;
+    if (ds.name == "rmat") {
+      rmat_update_share = update_share;
+      rmat_update_write_cut = update_write_cut;
+    }
 
     table.add_row({ds.name, metrics::Table::bytes(xs_read),
                    metrics::Table::bytes(fb_read),
@@ -103,14 +118,18 @@ int main(int argc, char** argv) {
                    metrics::Table::bytes(xs_moved),
                    metrics::Table::bytes(fb_moved),
                    metrics::Table::percent(overall_cut),
-                   metrics::Table::percent(update_share)});
+                   metrics::Table::percent(update_share),
+                   metrics::Table::bytes(
+                       fbc.bytes_written(io::Role::kUpdates)),
+                   metrics::Table::percent(update_write_cut)});
 
     json.open(ds.name);
     json.integer("vertices", ds.meta.num_vertices);
     json.integer("edges", ds.meta.num_edges);
     json.integer("partitions", ds.partitions);
-    for (const auto* run : {&xs, &fb}) {
-      json.open(run == &xs ? "xstream" : "fastbfs");
+    for (const auto* run : {&xs, &fb, &fbc}) {
+      json.open(run == &xs ? "xstream"
+                           : (run == &fb ? "fastbfs" : "fastbfs_codec"));
       json.integer("iterations", run->iterations.size());
       json.integer("edge_input_bytes_read", edge_input_read(*run));
       json.integer("bytes_read", run->device_bytes_read());
@@ -120,11 +139,13 @@ int main(int argc, char** argv) {
                    run->bytes_written(io::Role::kUpdates));
       json.integer("stay_bytes_written",
                    run->bytes_written(io::Role::kStay));
+      json.integer("updates_sieved", run->updates_sieved());
       json.close();
     }
     json.number("input_cut", input_cut);
     json.number("overall_cut", overall_cut);
     json.number("xstream_update_write_share", update_share);
+    json.number("codec_update_write_cut", update_write_cut);
     json.close();
   }
   table.print();
@@ -133,11 +154,13 @@ int main(int argc, char** argv) {
   std::cout << "\nmean input cut " << (sum_input_cut / n) * 100.0
             << "%, mean overall cut " << (sum_overall_cut / n) * 100.0
             << "%; rmat update write share "
-            << rmat_update_share * 100.0 << "%\n";
+            << rmat_update_share * 100.0 << "%; rmat codec update write cut "
+            << rmat_update_write_cut * 100.0 << "%\n";
   json.open("headline");
   json.number("mean_input_cut", sum_input_cut / n);
   json.number("mean_overall_cut", sum_overall_cut / n);
   json.number("rmat_update_write_share", rmat_update_share);
+  json.number("rmat_codec_update_write_cut", rmat_update_write_cut);
   json.close();
 
   std::ofstream out(out_path);

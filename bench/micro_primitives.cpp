@@ -1,128 +1,302 @@
-// Google-benchmark microbenchmarks for the substrate primitives the
-// engines are built on: RNG, bitmap, streams, async writer, generators.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the update-stream primitives behind PR 7's write
+// cut: varint encode/decode, whole-stream codec encode + decode
+// throughput per format (with the exact compression ratios), and the
+// staging-buffer sieve's hit rate / throughput on duplicate-heavy
+// update streams.
+//
+// Standalone (no google-benchmark): wall-clocked loops over synthetic
+// update streams shaped like the engines' real traffic — a dense
+// BFS-style round (identical payloads, heavy duplicates), a power-law
+// round (distinct payloads), and a sparse round. Results land in
+// BENCH_pr7_micro.json (--out=FILE); --quick shrinks the streams.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "common/bitmap.hpp"
+#include "json_writer.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "common/temp_dir.hpp"
-#include "graph/generators.hpp"
-#include "storage/async_writer.hpp"
-#include "storage/stream.hpp"
-#include "xstream/programs.hpp"
+#include "graph/partitioner.hpp"
+#include "graph/program.hpp"
+#include "metrics/table.hpp"
+#include "storage/codec.hpp"
+#include "xstream/detail.hpp"
 
-namespace fbfs {
 namespace {
 
-void BM_RngNextU64(benchmark::State& state) {
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_u64());
-  }
-}
-BENCHMARK(BM_RngNextU64);
+using namespace fbfs;  // NOLINT(build/namespaces)
+using bench::Json;
+using io::codec::EncodeOptions;
+using io::codec::Format;
+using io::codec::Policy;
+using Update = graph::BfsProgram::Update;
 
-void BM_RngNextBelow(benchmark::State& state) {
-  Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_below(1000003));
-  }
+double mib_per_sec(std::uint64_t bytes, double seconds) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
 }
-BENCHMARK(BM_RngNextBelow);
 
-void BM_ZipfSample(benchmark::State& state) {
-  Rng rng(3);
-  ZipfSampler zipf(1 << 20, 1.1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zipf.sample(rng));
-  }
-}
-BENCHMARK(BM_ZipfSample);
+/// A scatter round's update stream for one destination partition.
+struct Shape {
+  const char* name = "";
+  std::vector<Update> updates;
+  std::uint64_t range_begin = 0;
+  std::uint64_t range_end = 0;
+  bool identical_payloads = false;  // bitmap-eligible (BFS level-r rounds)
+};
 
-void BM_EdgeHashWeight(benchmark::State& state) {
-  graph::VertexId v = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(xs::edge_hash_weight({v, v + 1}));
-    ++v;
-  }
-}
-BENCHMARK(BM_EdgeHashWeight);
-
-void BM_BitmapTestAndSet(benchmark::State& state) {
-  AtomicBitmap bm(1 << 20);
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bm.test_and_set(i++ & ((1 << 20) - 1)));
-  }
-}
-BENCHMARK(BM_BitmapTestAndSet);
-
-void BM_BitmapTest(benchmark::State& state) {
-  AtomicBitmap bm(1 << 20);
-  for (std::uint64_t i = 0; i < bm.size(); i += 3) bm.set(i);
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bm.test(i++ & ((1 << 20) - 1)));
-  }
-}
-BENCHMARK(BM_BitmapTest);
-
-void BM_RmatGenerate(benchmark::State& state) {
-  graph::RmatParams params;
-  params.scale = 12;
-  params.edge_factor = 8;
-  for (auto _ : state) {
-    std::uint64_t sum = 0;
-    graph::generate_rmat(params, [&](const graph::Edge& e) {
-      sum += e.src ^ e.dst;
-    });
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetItemsProcessed(state.iterations() * (1 << 12) * 8);
-}
-BENCHMARK(BM_RmatGenerate);
-
-void BM_StreamWriteRead(benchmark::State& state) {
-  TempDir dir{"bm"};
-  io::Device device(dir.str(), io::DeviceModel::unthrottled());
-  std::vector<graph::Edge> edges(1 << 16);
-  for (std::uint32_t i = 0; i < edges.size(); ++i) edges[i] = {i, i + 1};
-  for (auto _ : state) {
-    auto f = device.open("x", true);
-    io::RecordWriter<graph::Edge> writer(*f, 1 << 20);
-    writer.append_batch(edges);
-    writer.flush();
-    io::RecordReader<graph::Edge> reader(*f, 1 << 20);
-    std::uint64_t n = 0;
-    for (auto batch = reader.next_batch(); !batch.empty();
-         batch = reader.next_batch()) {
-      n += batch.size();
+std::vector<Shape> make_shapes(std::uint64_t n) {
+  std::vector<Shape> shapes;
+  {
+    // Dense BFS middle round: every update carries the same level and
+    // most destinations repeat — the bitmap format's home turf.
+    Shape s;
+    s.name = "dense_bfs";
+    s.range_end = n / 4;
+    s.identical_payloads = true;
+    Rng rng(11);
+    s.updates.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s.updates.push_back(
+          {static_cast<graph::VertexId>(rng.next_below(s.range_end)), 7});
     }
-    benchmark::DoNotOptimize(n);
+    shapes.push_back(std::move(s));
   }
-  state.SetBytesProcessed(state.iterations() * edges.size() *
-                          sizeof(graph::Edge) * 2);
+  {
+    // Power-law round with distinct payloads: duplicates remain but the
+    // payloads differ, so varint is the only compressive option.
+    Shape s;
+    s.name = "powerlaw";
+    s.range_end = n / 4;
+    Rng rng(13);
+    ZipfSampler zipf(s.range_end, 1.05);
+    s.updates.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s.updates.push_back({static_cast<graph::VertexId>(zipf.sample(rng)),
+                           static_cast<std::uint32_t>(rng.next_below(64))});
+    }
+    shapes.push_back(std::move(s));
+  }
+  {
+    // Sparse tail round: few updates spread over a wide range — the
+    // shape where raw should win and the cost model must not regress.
+    Shape s;
+    s.name = "sparse";
+    s.range_end = n * 64;
+    s.identical_payloads = true;
+    Rng rng(17);
+    s.updates.reserve(n / 16);
+    for (std::uint64_t i = 0; i < n / 16; ++i) {
+      s.updates.push_back(
+          {static_cast<graph::VertexId>(rng.next_below(s.range_end)), 3});
+    }
+    shapes.push_back(std::move(s));
+  }
+  return shapes;
 }
-BENCHMARK(BM_StreamWriteRead);
 
-void BM_AsyncWriterThroughput(benchmark::State& state) {
-  TempDir dir{"bm"};
-  io::Device device(dir.str(), io::DeviceModel::unthrottled());
-  std::vector<std::byte> chunk(1 << 16);
-  io::AsyncWriter writer(1 << 18, 4);
-  int file_id = 0;
-  for (auto _ : state) {
-    auto f = device.open("x" + std::to_string(file_id++ & 7), true);
-    const auto id = writer.begin(f.get());
-    for (int i = 0; i < 16; ++i) writer.append(id, chunk);
-    writer.finish(id);
-    writer.wait_complete(id, 60.0);
-    writer.release(id);
+void bench_varint(Json& json, std::uint64_t n) {
+  Rng rng(5);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) {
+    // Mixed widths: the shift distributes sizes 1..8 bytes.
+    v = rng.next_u64() >> (rng.next_below(57));
   }
-  state.SetBytesProcessed(state.iterations() * 16 * chunk.size());
+  std::vector<std::byte> buf(n * 10);
+  Stopwatch clock;
+  std::size_t bytes = 0;
+  for (const std::uint64_t v : values) {
+    bytes += io::codec::put_varint(v, buf.data() + bytes);
+  }
+  const double enc_s = clock.seconds();
+  clock.restart();
+  std::size_t pos = 0;
+  std::uint64_t sum = 0;
+  const std::span<const std::byte> view(buf.data(), bytes);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += io::codec::get_varint(view, pos);
+  }
+  const double dec_s = clock.seconds();
+  FB_CHECK_EQ(pos, bytes);
+  FB_CHECK_GT(sum, 0u);
+
+  metrics::Table table({"op", "values", "bytes", "sec", "Mops/s"});
+  table.add_row({"put_varint", metrics::Table::count(n),
+                 metrics::Table::bytes(bytes), metrics::Table::seconds(enc_s),
+                 metrics::Table::count(static_cast<std::uint64_t>(
+                     static_cast<double>(n) / 1e6 / enc_s))});
+  table.add_row({"get_varint", metrics::Table::count(n),
+                 metrics::Table::bytes(bytes), metrics::Table::seconds(dec_s),
+                 metrics::Table::count(static_cast<std::uint64_t>(
+                     static_cast<double>(n) / 1e6 / dec_s))});
+  table.print();
+  json.open("varint");
+  json.integer("values", n);
+  json.integer("encoded_bytes", bytes);
+  json.number("encode_mops", static_cast<double>(n) / 1e6 / enc_s);
+  json.number("decode_mops", static_cast<double>(n) / 1e6 / dec_s);
+  json.close();
 }
-BENCHMARK(BM_AsyncWriterThroughput);
+
+void bench_codec(Json& json, io::Device& dev, const std::vector<Shape>& shapes,
+                 std::uint32_t rounds) {
+  metrics::Table table({"stream", "codec", "format", "in", "out", "ratio",
+                        "enc MiB/s", "dec MiB/s"});
+  json.open("codec");
+  for (const Shape& shape : shapes) {
+    const std::uint64_t in_bytes = shape.updates.size() * sizeof(Update);
+    json.open(shape.name);
+    json.integer("updates", shape.updates.size());
+    json.integer("raw_bytes", in_bytes);
+    for (const Policy policy :
+         {Policy::kRaw, Policy::kBitmap, Policy::kVarint, Policy::kAuto}) {
+      const EncodeOptions opts{.policy = policy,
+                               .allow_bitmap = shape.identical_payloads,
+                               .range_begin = shape.range_begin,
+                               .range_end = shape.range_end};
+      // Encode throughput (in-memory, the scatter-close hot path).
+      Stopwatch clock;
+      io::codec::EncodedBlob blob;
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        blob = io::codec::encode_records<Update>(shape.updates, opts);
+      }
+      const double enc_s = clock.seconds() / rounds;
+
+      // Decode throughput through the real reader stack.
+      const std::string file = std::string(shape.name) + ".upd";
+      {
+        io::codec::CodecWriter<Update> writer(dev, file, 1 << 20, opts);
+        writer.append_batch(shape.updates);
+        writer.close();
+      }
+      clock.restart();
+      std::uint64_t decoded = 0;
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        auto reader = io::codec::open_reader<Update>(
+            dev, file, io::ReaderOptions::plain(1 << 20));
+        for (auto batch = reader->next_batch(); !batch.empty();
+             batch = reader->next_batch()) {
+          decoded += batch.size();
+        }
+      }
+      const double dec_s = clock.seconds() / rounds;
+      const std::uint64_t out_records = decoded / rounds;
+      const double ratio = static_cast<double>(blob.bytes.size()) /
+                           static_cast<double>(in_bytes);
+
+      table.add_row(
+          {shape.name, io::codec::to_string(policy),
+           io::codec::to_string(blob.format),
+           metrics::Table::bytes(in_bytes),
+           metrics::Table::bytes(blob.bytes.size()),
+           metrics::Table::percent(ratio),
+           metrics::Table::count(
+               static_cast<std::uint64_t>(mib_per_sec(in_bytes, enc_s))),
+           metrics::Table::count(static_cast<std::uint64_t>(
+               mib_per_sec(out_records * sizeof(Update), dec_s)))});
+
+      json.open(io::codec::to_string(policy));
+      json.text("format", io::codec::to_string(blob.format));
+      json.integer("encoded_bytes", blob.bytes.size());
+      json.integer("decoded_records", out_records);
+      json.number("bytes_ratio", ratio);
+      json.number("encode_mib_s", mib_per_sec(in_bytes, enc_s));
+      json.number("decode_mib_s",
+                  mib_per_sec(out_records * sizeof(Update), dec_s));
+      json.close();
+    }
+    json.close();
+  }
+  json.close();
+  table.print();
+}
+
+void bench_sieve(Json& json, const std::vector<Shape>& shapes,
+                 std::size_t window_records) {
+  // The engines' exact staging path: ScatterStage with the sieve on,
+  // windows retired every `window_records` staged updates (the
+  // staging-buffer lifetime scatter uses).
+  const graph::BfsProgram program{};
+  metrics::Table table({"stream", "window", "updates", "sieved", "hit rate",
+                        "Mupd/s"});
+  json.open("sieve");
+  for (const Shape& shape : shapes) {
+    const graph::PartitionLayout layout(shape.range_end, 4);
+    xstream::detail::ScatterStage<graph::BfsProgram> stage(program, layout,
+                                                           /*sieve=*/true);
+    Stopwatch clock;
+    std::size_t in_window = 0;
+    for (const Update& u : shape.updates) {
+      stage.stage(u);
+      if (++in_window == window_records) {
+        for (auto& bucket : stage.buckets) bucket.clear();
+        stage.window.clear();
+        in_window = 0;
+      }
+    }
+    const double s = clock.seconds();
+    const double hit_rate = static_cast<double>(stage.sieved) /
+                            static_cast<double>(stage.emitted);
+    table.add_row({shape.name, metrics::Table::count(window_records),
+                   metrics::Table::count(stage.emitted),
+                   metrics::Table::count(stage.sieved),
+                   metrics::Table::percent(hit_rate),
+                   metrics::Table::count(static_cast<std::uint64_t>(
+                       static_cast<double>(stage.emitted) / 1e6 / s))});
+    json.open(shape.name);
+    json.integer("window_records", window_records);
+    json.integer("updates", stage.emitted);
+    json.integer("sieved", stage.sieved);
+    json.number("hit_rate", hit_rate);
+    json.number("mupd_per_s", static_cast<double>(stage.emitted) / 1e6 / s);
+    json.close();
+  }
+  json.close();
+  table.print();
+}
 
 }  // namespace
-}  // namespace fbfs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_pr7_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::cerr << "usage: micro_primitives [--quick] [--out=FILE]\n";
+      return 2;
+    }
+  }
+  init_log_level_from_env();
+  metrics::print_experiment_header(
+      "Update-stream primitive microbenches",
+      "varint + codec encode/decode throughput and the staging-sieve "
+      "hit rate on engine-shaped update streams");
+
+  const std::uint64_t n = quick ? (1ull << 18) : (1ull << 22);
+  const std::uint32_t rounds = quick ? 3 : 5;
+  TempDir dir("micro_primitives");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const std::vector<Shape> shapes = make_shapes(n);
+
+  Json json;
+  json.text("bench", "micro_primitives");
+  json.text("mode", quick ? "quick" : "full");
+  bench_varint(json, n);
+  bench_codec(json, dev, shapes, rounds);
+  bench_sieve(json, shapes, /*window_records=*/1 << 17);
+
+  std::ofstream out(out_path);
+  FB_CHECK_MSG(out.good(), "cannot write " << out_path);
+  out << json.str();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -94,6 +94,15 @@ class AtomicBitmap {
     return (data_[last].load(std::memory_order_relaxed) & tail_mask) != 0;
   }
 
+  std::uint64_t num_words() const { return words_; }
+
+  /// Word w's 64 bits (bit i lives in word i>>6 at position i&63) — the
+  /// update codec's bitmap format serializes these verbatim.
+  std::uint64_t word(std::uint64_t w) const {
+    FB_CHECK_LT(w, words_);
+    return data_[w].load(std::memory_order_relaxed);
+  }
+
   /// Sets every bit that is set in `other` (same size required) — how
   /// the trimming engine folds a round's frontier into its retired set.
   void or_with(const AtomicBitmap& other) {

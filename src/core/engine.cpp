@@ -26,6 +26,15 @@ EngineOptions engine_options_from_config(const Config& config) {
   opts.stay_pool_buffers = static_cast<std::size_t>(
       config.get_u64_or("core.stay_pool_buffers", opts.stay_pool_buffers));
   opts.num_threads = config.get_threads_or("engine.num_threads", 1);
+  const std::string update_codec = config.get_enum_or(
+      "updates.codec", {"auto", "raw", "bitmap", "varint"},
+      io::codec::to_string(opts.update_codec));
+  opts.update_codec = io::codec::parse_policy(update_codec);
+  opts.sieve_updates = config.get_bool_or("updates.sieve", opts.sieve_updates);
+  // Stay files follow the update codec unless overridden.
+  opts.stay_codec = io::codec::parse_policy(config.get_enum_or(
+      "updates.stay_codec", {"auto", "raw", "bitmap", "varint"},
+      update_codec));
   return opts;
 }
 

@@ -55,6 +55,7 @@
 #include "metrics/collector.hpp"
 #include "metrics/device_usage.hpp"
 #include "storage/async_writer.hpp"
+#include "storage/codec.hpp"
 #include "storage/reader_factory.hpp"
 #include "storage/storage_plan.hpp"
 #include "xstream/detail.hpp"
@@ -92,6 +93,19 @@ struct EngineOptions {
   /// AsyncWriter pool geometry for the stay streams.
   std::size_t stay_buffer_bytes = 1 << 20;
   std::size_t stay_pool_buffers = 4;
+  /// On-disk format policy for the per-partition update files — same
+  /// semantics as xstream::EngineOptions::update_codec.
+  io::codec::Policy update_codec = io::codec::Policy::kRaw;
+  /// Drop dominated same-destination updates at the scatter staging
+  /// buffers (SieveCapable programs only).
+  bool sieve_updates = false;
+  /// Format policy for the trimmed stay files. Raw keeps today's fully
+  /// streamed async write (plus the self-describing header); the other
+  /// policies buffer survivors and encode the whole stream at finish
+  /// time — still written asynchronously, still .wip-staged. The
+  /// bitmap format never applies (multi-edges must keep their
+  /// multiplicity), so auto here means raw-vs-varint by exact cost.
+  io::codec::Policy stay_codec = io::codec::Policy::kRaw;
   /// Worker threads for the scatter/gather phases. 1 = the serial
   /// engine (no pool); 0 = one per hardware thread. States, outputs,
   /// update files, and stay files are bit-identical at every count
@@ -109,7 +123,9 @@ struct EngineOptions {
 /// trim_start_round, trim_min_frontier_fraction, trim_min_dead_fraction,
 /// grace_timeout (seconds), stay_buffer, stay_pool_buffers — plus
 /// `engine.num_threads` (0 = hardware concurrency; shared key with
-/// xstream::run).
+/// xstream::run) and the shared update-stream keys `updates.codec`
+/// (auto | raw | bitmap | varint), `updates.sieve` (bool), and
+/// `updates.stay_codec` (defaults to the resolved `updates.codec`).
 EngineOptions engine_options_from_config(const Config& config);
 
 /// Reads `core.partition_count`, falling back to `fallback`.
@@ -158,6 +174,10 @@ inline constexpr double kSettleTimeoutSeconds = 60.0;
 struct PendingTrim {
   io::AsyncWriter::StreamId id = 0;
   std::uint64_t survivors = 0;  // edges appended to the stream
+  /// Format the stream was written in; the next scan dispatches on it
+  /// (raw = positional scan past the header, else decode-then-scatter)
+  /// without re-reading the header.
+  io::codec::Format format = io::codec::Format::kRaw;
 };
 
 /// scatter_partition's edge-observer for core (see xstream/detail.hpp's
@@ -175,11 +195,17 @@ struct StayTrimSink {
 
   bool counting = false;    // trim-capable run: count dead edges
   bool collecting = false;  // trimming this scan: stage survivors
+  /// Non-raw stay codec: survivors accumulate in `staged` (in scan
+  /// order, flush() being input-ordered) and the engine encodes +
+  /// appends the whole stream at finish time, instead of streaming
+  /// chunks through the async writer as they retire.
+  bool buffered = false;
   const AtomicBitmap* retired = nullptr;
   io::AsyncWriter* writer = nullptr;
   io::AsyncWriter::StreamId id = 0;
   bool alive = false;
   std::uint64_t dead_total = 0;
+  std::vector<graph::Edge> staged;
 
   ChunkState make_chunk_state() const { return {}; }
 
@@ -197,9 +223,13 @@ struct StayTrimSink {
     dead_total += chunk.dead;
     chunk.dead = 0;
     if (chunk.survivors.empty()) return;
-    if (alive &&
-        !writer->append_raw(id, chunk.survivors.data(),
-                            chunk.survivors.size() * sizeof(graph::Edge))) {
+    if (buffered) {
+      staged.insert(staged.end(), chunk.survivors.begin(),
+                    chunk.survivors.end());
+    } else if (alive &&
+               !writer->append_raw(
+                   id, chunk.survivors.data(),
+                   chunk.survivors.size() * sizeof(graph::Edge))) {
       alive = false;  // stream cancelled/failed under us
     }
     chunk.survivors.clear();
@@ -246,6 +276,11 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     retired.emplace(n);
   }
   std::vector<bool> input_on_stay(num_partitions, false);
+  // Codec format of partition p's committed stay file (meaningful only
+  // when input_on_stay[p]); raw scans positionally past the header, any
+  // other format decodes up front and scatters the in-memory span.
+  std::vector<io::codec::Format> stay_format(num_partitions,
+                                             io::codec::Format::kRaw);
   std::vector<std::uint64_t> input_edges(pg.edges_per_partition);
   // Dead edges seen in the latest scan of the partition's CURRENT input
   // (replaced per scan — deadness is monotone, so a stale count only
@@ -275,6 +310,7 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     detail::log_trim_resolution(P::kName, p, state);
     if (committed) {
       input_on_stay[p] = true;
+      stay_format[p] = pending[p]->format;
       input_edges[p] = pending[p]->survivors;
       dead_seen[p] = 0;
       ++result.trims_committed;
@@ -305,8 +341,9 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     // Scatter.
     {
       Stopwatch scatter_clock;
-      auto fanout =
-          xd::open_update_fanout<Update>(pg, plan, options.write_buffer_bytes);
+      auto fanout = xd::open_update_fanout<Update>(
+          pg, plan, options.write_buffer_bytes, options.update_codec,
+          graph::kIdempotentGatherV<P>);
       for (std::uint32_t p = 0; p < num_partitions; ++p) {
         if (options.selective && !P::kScatterAllVertices &&
             !active.any_in_range(layout.begin(p), layout.end(p))) {
@@ -329,11 +366,21 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
         detail::StayTrimSink sink;
         sink.counting = trim_capable;
         sink.collecting = trim_this_scan;
+        sink.buffered = options.stay_codec != io::codec::Policy::kRaw;
         if (trim_capable) sink.retired = &*retired;
         if (trim_this_scan) {
           sink.id = writer->begin_staged(plan.stay(), stay_file_name(pg, p));
           sink.writer = &*writer;
           sink.alive = true;
+          if (!sink.buffered) {
+            // Streamed-raw stays are self-describing too: header first,
+            // survivors appended behind it as they retire.
+            const io::codec::FileHeader header =
+                io::codec::raw_stream_header<graph::Edge>();
+            if (!writer->append_raw(sink.id, &header, sizeof(header))) {
+              sink.alive = false;
+            }
+          }
           ++result.trims_started;
           ++stats.trims_started;
         }
@@ -343,24 +390,67 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
         const std::vector<State> states = xd::read_records<State>(
             plan.state(), xstream::state_file_name(pg, p), options.reader,
             layout.size(p));
-        std::uint64_t scanned = 0;
+        xd::ScatterResult scattered;
         {
-          io::Device& input_dev =
-              input_on_stay[p] ? plan.stay() : plan.edges();
-          const std::string input_name =
-              input_on_stay[p] ? stay_file_name(pg, p) : pg.partition_file(p);
-          scanned = xd::scatter_partition<P>(
-              exec, input_dev, input_name, input_edges[p], layout,
-              layout.begin(p), states, active, program, options.reader,
-              fanout, sink, collector);
+          if (input_on_stay[p] &&
+              stay_format[p] != io::codec::Format::kRaw) {
+            // An encoded stay file has no per-chunk byte offsets to
+            // slice, so it decodes whole and scatters as a span (same
+            // windows, same ordered hand-off).
+            const std::vector<graph::Edge> stay_edges =
+                io::codec::read_all<graph::Edge>(plan.stay(),
+                                                 stay_file_name(pg, p),
+                                                 options.reader,
+                                                 input_edges[p]);
+            scattered = xd::scatter_span<P>(
+                exec, stay_edges, layout, layout.begin(p), states, active,
+                program, options.reader, options.sieve_updates, fanout, sink,
+                collector);
+          } else {
+            io::Device& input_dev =
+                input_on_stay[p] ? plan.stay() : plan.edges();
+            const std::string input_name = input_on_stay[p]
+                                               ? stay_file_name(pg, p)
+                                               : pg.partition_file(p);
+            const std::uint64_t base_offset =
+                input_on_stay[p] ? io::codec::kHeaderBytes : 0;
+            scattered = xd::scatter_partition<P>(
+                exec, input_dev, input_name, base_offset, input_edges[p],
+                layout, layout.begin(p), states, active, program,
+                options.reader, options.sieve_updates, fanout, sink,
+                collector);
+          }
         }  // readers closed before the stream can commit a rename
-        FB_CHECK_MSG(scanned == input_edges[p],
+        FB_CHECK_MSG(scattered.scanned == input_edges[p],
                      "partition " << p << " input of " << pg.meta.name
-                                  << " holds " << scanned
+                                  << " holds " << scattered.scanned
                                   << " edges, expected " << input_edges[p]);
+        stats.updates_sieved += scattered.sieved;
         if (trim_capable) dead_seen[p] = sink.dead_total;
         if (trim_this_scan) {
           const std::uint64_t survivors = input_edges[p] - sink.dead_total;
+          io::codec::Format format = io::codec::Format::kRaw;
+          if (sink.buffered && sink.alive) {
+            // Buffered stay codec: encode the whole survivor stream now
+            // and hand the device write to the async writer as one
+            // append (still .wip-staged, still cancellable).
+            FB_CHECK_EQ(sink.staged.size(), survivors);
+            io::codec::EncodeOptions eopts;
+            eopts.policy = options.stay_codec;
+            // Multi-edges must keep their multiplicity (a collapsed
+            // duplicate would change scanned counts and PageRank
+            // contributions), so the bitmap format never applies.
+            eopts.allow_bitmap = false;
+            eopts.range_begin = 0;
+            eopts.range_end = n;
+            const io::codec::EncodedBlob blob =
+                io::codec::encode_records<graph::Edge>(sink.staged, eopts);
+            format = blob.format;
+            if (!writer->append_raw(sink.id, blob.bytes.data(),
+                                    blob.bytes.size())) {
+              sink.alive = false;
+            }
+          }
           if (sink.alive) {
             writer->finish(sink.id);
           } else {
@@ -368,13 +458,15 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
           }
           stats.stay_edges_written += survivors;
           result.stay_edges_written += survivors;
-          pending[p] = detail::PendingTrim{sink.id, survivors};
+          pending[p] = detail::PendingTrim{sink.id, survivors, format};
         }
       }
       {
         metrics::ScopedPhase flush_timer(collector,
                                          metrics::Phase::kShuffleFlush);
-        stats.updates_emitted = fanout.close(pending_updates);
+        const auto closed = fanout.close(pending_updates);
+        stats.updates_emitted = closed.updates;
+        stats.update_codec_bytes = closed.file_bytes;
       }
       stats.scatter_seconds = scatter_clock.seconds();
     }

@@ -71,6 +71,28 @@ concept GraphProgram = requires(const P p, const Edge e,
   { p.output(VertexId{}, cs) };
 };
 
+/// True when P declares `kIdempotentGather = true`: delivering the same
+/// update twice (or any byte-identical duplicate) cannot change a state
+/// or an activation. Min-folds qualify — gathering an equal value hits
+/// the `>=` early-out both times. Additive gathers (PageRank) must NOT
+/// declare it. This is the licence for the update codec's bitmap format
+/// (which collapses duplicate destinations) and for the staging sieve.
+template <typename P>
+inline constexpr bool kIdempotentGatherV = requires {
+  requires P::kIdempotentGather == true;
+};
+
+/// A program the staging-buffer sieve can run on: `dominated(u, champ)`
+/// returns true when delivering `u` after `champ` can never change the
+/// target's state or activation — so `u` may be dropped at the staging
+/// buffer before it reaches the shuffle writers. Only exact for
+/// idempotent-gather programs, hence the conjunction.
+template <typename P>
+concept SieveCapable = kIdempotentGatherV<P> &&
+    requires(const P p, const typename P::Update u) {
+      { p.dominated(u, u) } -> std::same_as<bool>;
+    };
+
 /// Deterministic per-edge weight in [1, 2): SSSP needs weights, edge
 /// files store none, and both engines see the same (src, dst) pairs —
 /// so both derive the identical weight from the edge digest.
@@ -93,6 +115,8 @@ struct BfsProgram {
   // scattered once never scatters again, and its out-edges are dead —
   // the property FastBFS's edge trimming (core::run) relies on.
   static constexpr bool kTrimmable = true;
+  // Min-fold over levels: duplicate delivery is a no-op.
+  static constexpr bool kIdempotentGather = true;
 
   struct State {
     std::uint32_t level = kUnreachedLevel;
@@ -119,6 +143,11 @@ struct BfsProgram {
     return true;
   }
   void apply(VertexId, State&) const {}
+  /// Within one round every update to a vertex carries the same level,
+  /// so any staged champion dominates every later same-dst update.
+  bool dominated(const Update& u, const Update& champion) const {
+    return u.level >= champion.level;
+  }
   std::uint32_t output(VertexId, const State& s) const { return s.level; }
 };
 static_assert(sizeof(BfsProgram::Update) == 8);
@@ -137,6 +166,8 @@ struct WccProgram {
   // A vertex re-activates whenever a smaller label reaches it, so its
   // out-edges stay useful after a scatter: not trimmable.
   static constexpr bool kTrimmable = false;
+  // Min-fold over labels: duplicate delivery is a no-op.
+  static constexpr bool kIdempotentGather = true;
 
   struct State {
     std::uint32_t label = 0;
@@ -161,6 +192,9 @@ struct WccProgram {
     return true;
   }
   void apply(VertexId, State&) const {}
+  bool dominated(const Update& u, const Update& champion) const {
+    return u.label >= champion.label;
+  }
   std::uint32_t output(VertexId, const State& s) const { return s.label; }
 };
 
@@ -174,6 +208,8 @@ struct SsspProgram {
   // Distances improve repeatedly (weights are non-uniform), so sources
   // re-activate: not trimmable.
   static constexpr bool kTrimmable = false;
+  // Min over floats is exact, so duplicate delivery is still a no-op.
+  static constexpr bool kIdempotentGather = true;
 
   struct State {
     float dist = std::numeric_limits<float>::infinity();
@@ -202,6 +238,9 @@ struct SsspProgram {
     return true;
   }
   void apply(VertexId, State&) const {}
+  bool dominated(const Update& u, const Update& champion) const {
+    return u.dist >= champion.dist;
+  }
   float output(VertexId, const State& s) const { return s.dist; }
 };
 
@@ -265,5 +304,13 @@ static_assert(GraphProgram<BfsProgram>);
 static_assert(GraphProgram<WccProgram>);
 static_assert(GraphProgram<SsspProgram>);
 static_assert(GraphProgram<PageRankProgram>);
+
+static_assert(SieveCapable<BfsProgram>);
+static_assert(SieveCapable<WccProgram>);
+static_assert(SieveCapable<SsspProgram>);
+// PageRank's additive gather counts every delivery: sieving or
+// collapsing duplicates would change ranks.
+static_assert(!kIdempotentGatherV<PageRankProgram>);
+static_assert(!SieveCapable<PageRankProgram>);
 
 }  // namespace fbfs::graph

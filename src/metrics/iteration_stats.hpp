@@ -41,6 +41,15 @@ struct IterationStats {
   std::uint32_t partitions_scattered = 0;  // partitions not skipped
   std::uint32_t partitions_skipped = 0;    // no active source in range
   std::uint64_t updates_emitted = 0;
+  /// Updates dropped at the scatter staging buffers (scatter declined
+  /// or collapsed by the sieve) — they never reached the shuffle
+  /// writers.
+  std::uint64_t updates_sieved = 0;
+  /// Update-file bytes written this round (codec headers included),
+  /// bucketed by the chosen on-disk format: [raw, bitmap, varint] in
+  /// io::codec::Format order. Kept as a plain array so this header
+  /// stays decoupled from the codec layer.
+  std::array<std::uint64_t, 3> update_codec_bytes{};
   std::uint64_t activated = 0;  // vertices active entering the next round
   double seconds = 0.0;
   double scatter_seconds = 0.0;  // edge-scan + update-shuffle share

@@ -12,9 +12,11 @@ namespace fbfs::metrics {
 
 struct LiveOpsSnapshot {
   std::uint64_t edges_scanned = 0;
-  std::uint64_t updates_emitted = 0;
-  std::uint64_t updates_sieved = 0;  // active-source edges whose scatter
-                                     // declined to emit
+  std::uint64_t updates_emitted = 0;  // updates program.scatter produced
+  std::uint64_t updates_sieved = 0;   // updates dropped before the shuffle
+                                      // writers: scatter declined, or the
+                                      // staging-buffer sieve collapsed them
+                                      // onto an earlier same-dst update
   std::uint64_t partitions_scattered = 0;
   std::uint64_t partitions_skipped = 0;
   std::uint64_t iterations = 0;

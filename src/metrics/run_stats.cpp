@@ -54,6 +54,22 @@ std::uint64_t RunStats::updates_emitted() const {
   return total;
 }
 
+std::uint64_t RunStats::updates_sieved() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations) total += it.stats.updates_sieved;
+  return total;
+}
+
+std::array<std::uint64_t, 3> RunStats::update_codec_bytes() const {
+  std::array<std::uint64_t, 3> total{};
+  for (const auto& it : iterations) {
+    for (std::size_t f = 0; f < total.size(); ++f) {
+      total[f] += it.stats.update_codec_bytes[f];
+    }
+  }
+  return total;
+}
+
 double RunStats::modelled_iowait() const {
   double busy = 0.0;
   double wall = 0.0;
@@ -78,17 +94,22 @@ void RunStats::print(std::ostream& os) const {
      << Table::count(ops.updates_emitted) << " updates ("
      << Table::count(ops.updates_sieved) << " sieved), "
      << Table::seconds(wall_seconds) << "\n";
-  Table table({"iter", "scat", "skip", "updates", "active", "sec",
-               "edges rd", "upd wr", "stay wr", "trims", "iowait"});
+  Table table({"iter", "scat", "skip", "updates", "sieved", "active", "sec",
+               "edges rd", "upd wr", "u raw", "u bmp", "u vint", "stay wr",
+               "trims", "iowait"});
   for (const auto& it : iterations) {
     const IterationStats& s = it.stats;
     table.add_row(
         {std::to_string(s.iteration), std::to_string(s.partitions_scattered),
          std::to_string(s.partitions_skipped), Table::count(s.updates_emitted),
-         Table::count(s.activated), Table::seconds(s.seconds),
+         Table::count(s.updates_sieved), Table::count(s.activated),
+         Table::seconds(s.seconds),
          Table::bytes(s.role_io(io::Role::kEdges).bytes_read +
                       s.role_io(io::Role::kStay).bytes_read),
          Table::bytes(s.role_io(io::Role::kUpdates).bytes_written),
+         Table::bytes(s.update_codec_bytes[0]),
+         Table::bytes(s.update_codec_bytes[1]),
+         Table::bytes(s.update_codec_bytes[2]),
          Table::bytes(s.role_io(io::Role::kStay).bytes_written),
          std::to_string(s.trims_started), Table::percent(s.modelled_iowait())});
   }
@@ -132,6 +153,12 @@ void RunStats::write_json(Json& json) const {
     json.integer(std::string(io::to_string(role)) + "_bytes_written",
                  bytes_written(role));
   }
+  {
+    const std::array<std::uint64_t, 3> codec = update_codec_bytes();
+    json.integer("update_bytes_raw", codec[0]);
+    json.integer("update_bytes_bitmap", codec[1]);
+    json.integer("update_bytes_varint", codec[2]);
+  }
   json.number("modelled_iowait", modelled_iowait());
   for (std::size_t p = 0; p < kNumPhases; ++p) {
     const LatencyHistogram hist = phase_total(static_cast<Phase>(p));
@@ -144,6 +171,10 @@ void RunStats::write_json(Json& json) const {
     const IterationStats& s = it.stats;
     json.open("iter" + std::to_string(s.iteration));
     json.integer("updates_emitted", s.updates_emitted);
+    json.integer("updates_sieved", s.updates_sieved);
+    json.integer("update_bytes_raw", s.update_codec_bytes[0]);
+    json.integer("update_bytes_bitmap", s.update_codec_bytes[1]);
+    json.integer("update_bytes_varint", s.update_codec_bytes[2]);
     json.integer("activated", s.activated);
     json.number("seconds", s.seconds);
     json.integer("edge_input_bytes_read",

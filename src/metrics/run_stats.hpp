@@ -62,6 +62,10 @@ struct RunStats {
     return device_bytes_read() + device_bytes_written();
   }
   std::uint64_t updates_emitted() const;
+  std::uint64_t updates_sieved() const;
+  /// Update-file bytes written over the run, bucketed by on-disk codec
+  /// format: [raw, bitmap, varint] (io::codec::Format order).
+  std::array<std::uint64_t, 3> update_codec_bytes() const;
   /// Busy-time-weighted mean of the per-iteration modelled iowait:
   /// sum(max_device_busy) / sum(round seconds), clamped to [0, 1].
   double modelled_iowait() const;

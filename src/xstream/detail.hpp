@@ -20,6 +20,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitmap.hpp"
@@ -29,6 +30,7 @@
 #include "graph/program.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/iteration_stats.hpp"
+#include "storage/codec.hpp"
 #include "storage/reader_factory.hpp"
 #include "storage/storage_plan.hpp"
 #include "storage/stream.hpp"
@@ -52,30 +54,23 @@ namespace detail {
 
 void log_iteration(const char* program, const IterationStats& stats);
 
+/// Engine-written record files (states, updates, stays) all carry the
+/// update-codec header now (storage/codec.hpp), so reads and writes of
+/// whole files go through the codec layer; the partitioner's edge files
+/// predate the engines and stay headerless.
 template <typename T>
 std::vector<T> read_records(io::Device& device, const std::string& name,
                             const io::ReaderOptions& opts,
                             std::uint64_t expected) {
-  auto reader = io::open_record_reader<T>(device, name, opts);
-  std::vector<T> out;
-  out.reserve(expected);
-  for (auto batch = reader->next_batch(); !batch.empty();
-       batch = reader->next_batch()) {
-    out.insert(out.end(), batch.begin(), batch.end());
-  }
-  FB_CHECK_MSG(out.size() == expected,
-               name << " holds " << out.size() << " records, expected "
-                    << expected);
-  return out;
+  return io::codec::read_all<T>(device, name, opts, expected);
 }
 
 template <typename T>
 void write_records(io::Device& device, const std::string& name,
                    std::span<const T> records, std::size_t buffer_bytes) {
-  auto file = device.open(name, /*truncate=*/true);
-  io::RecordWriter<T> writer(*file, buffer_bytes);
+  io::codec::CodecWriter<T> writer(device, name, buffer_bytes);
   writer.append_batch(records);
-  writer.flush();
+  writer.close();
 }
 
 /// The init pass: one scan per partition builds local out-degrees off
@@ -132,11 +127,12 @@ void init_partition_states(const graph::PartitionedGraph& pg,
 /// receives every update addressed into partition q, in source-partition
 /// order. Parallel scatter workers flush their staged per-destination
 /// buffers through append_batch_locked, a short critical section per
-/// writer.
+/// writer. Each writer is a CodecWriter: raw policy streams exactly as
+/// the old RecordWriter fan-out did, the other policies pick each
+/// partition's cheapest on-disk format at close().
 template <typename Update>
 struct UpdateFanout {
-  std::vector<std::unique_ptr<io::File>> files;
-  std::vector<std::unique_ptr<io::RecordWriter<Update>>> writers;
+  std::vector<std::unique_ptr<io::codec::CodecWriter<Update>>> writers;
   std::vector<std::unique_ptr<std::mutex>> locks;
 
   void append(std::uint32_t q, const Update& u) { writers[q]->append(u); }
@@ -151,32 +147,51 @@ struct UpdateFanout {
     writers[q]->append_batch(batch);
   }
 
-  /// Flushes all writers and records each partition's pending update
-  /// count; returns the total emitted this phase.
-  std::uint64_t close(std::vector<std::uint64_t>& pending_updates) {
-    std::uint64_t total = 0;
+  struct CloseStats {
+    /// Updates a decoder will deliver — the gather-phase view the stop
+    /// rule and pending counts key on (the bitmap format collapses
+    /// byte-identical duplicates, so this can be below the staged
+    /// count; nonzero iff anything was staged either way).
+    std::uint64_t updates = 0;
+    /// Bytes written (headers included), bucketed by chosen format.
+    std::array<std::uint64_t, io::codec::kNumFormats> file_bytes{};
+  };
+
+  /// Closes all writers (encoding the non-raw ones) and records each
+  /// partition's pending update count.
+  CloseStats close(std::vector<std::uint64_t>& pending_updates) {
+    CloseStats out;
     for (std::uint32_t q = 0; q < writers.size(); ++q) {
-      writers[q]->flush();
-      pending_updates[q] = writers[q]->records_appended();
-      total += pending_updates[q];
+      const auto r = writers[q]->close();
+      pending_updates[q] = r.records;
+      out.updates += r.records;
+      out.file_bytes[static_cast<std::size_t>(r.format)] += r.file_bytes;
     }
-    return total;
+    return out;
   }
 };
 
+/// `allow_bitmap` is the per-program licence for the duplicate-
+/// collapsing bitmap format — pass graph::kIdempotentGatherV<P>.
 template <typename Update>
-UpdateFanout<Update> open_update_fanout(const graph::PartitionedGraph& pg,
-                                        const io::StoragePlan& plan,
-                                        std::size_t write_buffer_bytes) {
+UpdateFanout<Update> open_update_fanout(
+    const graph::PartitionedGraph& pg, const io::StoragePlan& plan,
+    std::size_t write_buffer_bytes,
+    io::codec::Policy policy = io::codec::Policy::kRaw,
+    bool allow_bitmap = false) {
   const std::uint32_t num_partitions = pg.layout.num_partitions();
   const std::size_t update_buffer = std::max<std::size_t>(
       sizeof(Update), write_buffer_bytes / num_partitions);
   UpdateFanout<Update> fanout;
   for (std::uint32_t q = 0; q < num_partitions; ++q) {
-    fanout.files.push_back(
-        plan.updates().open(update_file_name(pg, q), /*truncate=*/true));
-    fanout.writers.push_back(std::make_unique<io::RecordWriter<Update>>(
-        *fanout.files[q], update_buffer));
+    io::codec::EncodeOptions opts;
+    opts.policy = policy;
+    opts.allow_bitmap = allow_bitmap;
+    opts.range_begin = pg.layout.begin(q);
+    opts.range_end = pg.layout.end(q);
+    fanout.writers.push_back(
+        std::make_unique<io::codec::CodecWriter<Update>>(
+            plan.updates(), update_file_name(pg, q), update_buffer, opts));
     fanout.locks.push_back(std::make_unique<std::mutex>());
   }
   return fanout;
@@ -195,11 +210,115 @@ struct NullTrimSink {
   void flush(ChunkState&) {}
 };
 
+/// One scatter pass's counters. `emitted` counts updates program.scatter
+/// produced; `sieved` counts the ones that never reached the shuffle
+/// writers (scatter declined, or the staging sieve collapsed them onto
+/// an earlier same-destination update). Records staged = emitted minus
+/// the sieve's share of sieved.
+struct ScatterResult {
+  std::uint64_t scanned = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t sieved = 0;
+};
+
+/// One worker's staging state for a scatter window: per-destination-
+/// partition update buckets, plus (when sieving) a dst -> bucket-slot
+/// map over the CURRENT window. A window is one staging-buffer
+/// lifetime — a serial reader batch or a parallel chunk, both exactly
+/// `reader.buffer_bytes / sizeof(Edge)` records — so the sieve sees
+/// identical windows at every thread count and the update files stay
+/// byte-identical. Within a window the first update to a destination
+/// claims the slot; a later non-dominated update replaces the champion
+/// IN that slot (file position = first sighting, value = best), and
+/// either way the later record is dropped. Exact only for
+/// SieveCapable programs — the sieve flag is dead for the rest.
+template <graph::GraphProgram P>
+struct ScatterStage {
+  using Update = typename P::Update;
+
+  const P& program;
+  const graph::PartitionLayout& layout;
+  bool sieve;
+  std::vector<std::vector<Update>> buckets;
+  std::unordered_map<graph::VertexId, std::uint32_t> window;
+  std::uint64_t emitted = 0;
+  std::uint64_t sieved = 0;
+
+  ScatterStage(const P& program, const graph::PartitionLayout& layout,
+               bool sieve)
+      : program(program),
+        layout(layout),
+        sieve(sieve),
+        buckets(layout.num_partitions()) {}
+
+  void stage(const Update& u) {
+    ++emitted;
+    std::vector<Update>& bucket = buckets[layout.owner(u.dst)];
+    if constexpr (graph::SieveCapable<P>) {
+      if (sieve) {
+        const auto [it, inserted] = window.try_emplace(
+            graph::VertexId(u.dst), static_cast<std::uint32_t>(bucket.size()));
+        if (!inserted) {
+          Update& champion = bucket[it->second];
+          if (!program.dominated(u, champion)) champion = u;
+          ++sieved;
+          return;
+        }
+      }
+    }
+    bucket.push_back(u);
+  }
+
+  /// Scatter `batch` into the buckets and show every edge to `trim`.
+  template <typename TrimSink>
+  void process(std::span<const graph::Edge> batch, graph::VertexId part_begin,
+               const std::vector<typename P::State>& states,
+               const AtomicBitmap& active, TrimSink& trim,
+               typename TrimSink::ChunkState& chunk) {
+    for (const graph::Edge& e : batch) {
+      const bool src_active = P::kScatterAllVertices || active.test(e.src);
+      if (src_active) {
+        Update u;
+        if (program.scatter(e, states[e.src - part_begin], u)) {
+          stage(u);
+        } else {
+          ++sieved;
+        }
+      }
+      trim.observe(e, src_active, chunk);
+    }
+  }
+
+  /// Serial window retirement: append + clear, ready for the next batch.
+  template <typename Fanout>
+  void flush_serial(Fanout& fanout) {
+    for (std::uint32_t q = 0; q < buckets.size(); ++q) {
+      if (!buckets[q].empty()) {
+        fanout.append_batch(q, buckets[q]);
+        buckets[q].clear();
+      }
+    }
+    window.clear();
+  }
+
+  /// Parallel retirement: the stage is per-chunk, appended once under
+  /// the ordered hand-off and then discarded.
+  template <typename Fanout>
+  void flush_locked(Fanout& fanout) {
+    for (std::uint32_t q = 0; q < buckets.size(); ++q) {
+      fanout.append_batch_locked(q, buckets[q]);
+    }
+  }
+};
+
 /// One partition's scatter: scans `num_records` edges from
-/// `input_name`, runs program.scatter for every active-source edge (or
-/// every edge, for kScatterAllVertices programs), routes emitted
-/// updates into the fan-out, and shows every edge + its activity to
-/// `trim`. Returns the number of edges scanned.
+/// `input_name` starting at byte `base_offset` (0 for headerless edge
+/// partition files, codec::kHeaderBytes for raw codec streams), runs
+/// program.scatter for every active-source edge (or every edge, for
+/// kScatterAllVertices programs), routes emitted updates into the
+/// fan-out — sieving dominated duplicates at the staging buffers when
+/// `sieve_updates` and the program allows — and shows every edge + its
+/// activity to `trim`.
 ///
 /// With a collector, the fan-out flushes are timed as shuffle-flush
 /// latencies and the scan feeds the live op counters. The counting
@@ -218,68 +337,39 @@ struct NullTrimSink {
 /// scan order too, update files and stay files are byte-identical at
 /// every thread count.
 template <graph::GraphProgram P, typename TrimSink>
-std::uint64_t scatter_partition(
+ScatterResult scatter_partition(
     const ExecContext& exec, io::Device& input_dev,
-    const std::string& input_name, std::uint64_t num_records,
-    const graph::PartitionLayout& layout, graph::VertexId part_begin,
-    const std::vector<typename P::State>& states, const AtomicBitmap& active,
-    const P& program, const io::ReaderOptions& reader,
+    const std::string& input_name, std::uint64_t base_offset,
+    std::uint64_t num_records, const graph::PartitionLayout& layout,
+    graph::VertexId part_begin, const std::vector<typename P::State>& states,
+    const AtomicBitmap& active, const P& program,
+    const io::ReaderOptions& reader, bool sieve_updates,
     UpdateFanout<typename P::Update>& fanout, TrimSink& trim,
     metrics::Collector* collector = nullptr) {
-  using Update = typename P::Update;
-  const std::uint32_t num_partitions = layout.num_partitions();
-
-  // Shared per-batch step: scatter into per-destination buckets, show
-  // every edge to the trim sink. `emitted`/`sieved` are the caller's
-  // plain local counters (no atomics on the per-edge path).
-  const auto process = [&](std::span<const graph::Edge> batch,
-                           std::vector<std::vector<Update>>& buckets,
-                           typename TrimSink::ChunkState& chunk,
-                           std::uint64_t& emitted, std::uint64_t& sieved) {
-    for (const graph::Edge& e : batch) {
-      const bool src_active = P::kScatterAllVertices || active.test(e.src);
-      if (src_active) {
-        Update u;
-        if (program.scatter(e, states[e.src - part_begin], u)) {
-          buckets[layout.owner(u.dst)].push_back(u);
-          ++emitted;
-        } else {
-          ++sieved;
-        }
-      }
-      trim.observe(e, src_active, chunk);
-    }
-  };
-
   if (!exec.parallel()) {
+    io::ReaderOptions opts = reader;
+    opts.offset = base_offset;
     auto edges =
-        io::open_record_reader<graph::Edge>(input_dev, input_name, reader);
-    std::vector<std::vector<Update>> buckets(num_partitions);
+        io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
+    ScatterStage<P> stage(program, layout, sieve_updates);
     auto chunk = trim.make_chunk_state();
     std::uint64_t scanned = 0;
-    std::uint64_t emitted = 0;
-    std::uint64_t sieved = 0;
     for (auto batch = edges->next_batch(); !batch.empty();
          batch = edges->next_batch()) {
       scanned += batch.size();
-      process(batch, buckets, chunk, emitted, sieved);
+      stage.process(batch, part_begin, states, active, trim, chunk);
       {
         metrics::ScopedPhase flush_timer(collector,
                                          metrics::Phase::kShuffleFlush);
-        for (std::uint32_t q = 0; q < num_partitions; ++q) {
-          if (!buckets[q].empty()) {
-            fanout.append_batch(q, buckets[q]);
-            buckets[q].clear();
-          }
-        }
+        stage.flush_serial(fanout);
         trim.flush(chunk);
       }
     }
     if (collector != nullptr) {
       collector->live().add_edges_scanned(scanned);
-      collector->live().add_updates(emitted, sieved);
+      collector->live().add_updates(stage.emitted, stage.sieved);
     }
-    return scanned;
+    return {scanned, stage.emitted, stage.sieved};
   }
 
   const std::uint64_t chunk_records = std::max<std::uint64_t>(
@@ -288,6 +378,8 @@ std::uint64_t scatter_partition(
       (num_records + chunk_records - 1) / chunk_records;
   OrderedGate gate;
   std::atomic<std::uint64_t> scanned{0};
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> sieved{0};
   std::vector<std::future<void>> chunks;
   chunks.reserve(num_chunks);
   for (std::uint64_t c = 0; c < num_chunks; ++c) {
@@ -295,18 +387,15 @@ std::uint64_t scatter_partition(
       const std::uint64_t first = c * chunk_records;
       const std::uint64_t count =
           std::min(chunk_records, num_records - first);
-      std::vector<std::vector<Update>> buckets(num_partitions);
+      ScatterStage<P> stage(program, layout, sieve_updates);
       auto chunk = trim.make_chunk_state();
-      std::uint64_t emitted = 0;
-      std::uint64_t sieved = 0;
-      bool processed = false;
       try {
         // Each chunk is one positional read: a plain reader whose
         // buffer covers exactly this slice (parallel chunks replace the
         // serial read-ahead, so prefetch mode is not layered on top).
         io::ReaderOptions opts = reader;
         opts.mode = io::ReaderMode::kPlain;
-        opts.offset = first * sizeof(graph::Edge);
+        opts.offset = base_offset + first * sizeof(graph::Edge);
         opts.buffer_bytes =
             static_cast<std::size_t>(count * sizeof(graph::Edge));
         auto edges =
@@ -319,10 +408,10 @@ std::uint64_t scatter_partition(
                                   << remaining << " records short)");
           const std::size_t take = static_cast<std::size_t>(
               std::min<std::uint64_t>(batch.size(), remaining));
-          process(batch.subspan(0, take), buckets, chunk, emitted, sieved);
+          stage.process(batch.subspan(0, take), part_begin, states, active,
+                        trim, chunk);
           remaining -= take;
         }
-        processed = true;
       } catch (...) {
         // Keep the hand-off chain alive for later tickets, then let
         // join_all surface the failure.
@@ -330,14 +419,11 @@ std::uint64_t scatter_partition(
         gate.complete(c);
         throw;
       }
-      (void)processed;
       gate.wait_turn(c);
       try {
         metrics::ScopedPhase flush_timer(collector,
                                          metrics::Phase::kShuffleFlush);
-        for (std::uint32_t q = 0; q < num_partitions; ++q) {
-          fanout.append_batch_locked(q, buckets[q]);
-        }
+        stage.flush_locked(fanout);
         trim.flush(chunk);
       } catch (...) {
         gate.complete(c);
@@ -345,14 +431,106 @@ std::uint64_t scatter_partition(
       }
       gate.complete(c);
       scanned.fetch_add(count, std::memory_order_relaxed);
+      emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
+      sieved.fetch_add(stage.sieved, std::memory_order_relaxed);
       if (collector != nullptr) {
         collector->live().add_edges_scanned(count);
-        collector->live().add_updates(emitted, sieved);
+        collector->live().add_updates(stage.emitted, stage.sieved);
       }
     }));
   }
   join_all(chunks);
-  return scanned.load(std::memory_order_relaxed);
+  return {scanned.load(std::memory_order_relaxed),
+          emitted.load(std::memory_order_relaxed),
+          sieved.load(std::memory_order_relaxed)};
+}
+
+/// scatter_partition over an in-memory edge span — core's path for stay
+/// files whose codec format is not raw (the whole file decodes up
+/// front; a compressed stream has no per-chunk byte offsets to slice).
+/// Windowing, ordering, and the sieve all match scatter_partition
+/// exactly: serial slices and parallel chunks are both
+/// `reader.buffer_bytes / sizeof(Edge)` records, and parallel chunks
+/// retire through the same ordered hand-off.
+template <graph::GraphProgram P, typename TrimSink>
+ScatterResult scatter_span(
+    const ExecContext& exec, std::span<const graph::Edge> edges,
+    const graph::PartitionLayout& layout, graph::VertexId part_begin,
+    const std::vector<typename P::State>& states, const AtomicBitmap& active,
+    const P& program, const io::ReaderOptions& reader, bool sieve_updates,
+    UpdateFanout<typename P::Update>& fanout, TrimSink& trim,
+    metrics::Collector* collector = nullptr) {
+  const std::uint64_t num_records = edges.size();
+  const std::uint64_t chunk_records = std::max<std::uint64_t>(
+      1, reader.buffer_bytes / sizeof(graph::Edge));
+
+  if (!exec.parallel()) {
+    ScatterStage<P> stage(program, layout, sieve_updates);
+    auto chunk = trim.make_chunk_state();
+    for (std::uint64_t first = 0; first < num_records;
+         first += chunk_records) {
+      const std::uint64_t count =
+          std::min(chunk_records, num_records - first);
+      stage.process(edges.subspan(first, count), part_begin, states, active,
+                    trim, chunk);
+      {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
+        stage.flush_serial(fanout);
+        trim.flush(chunk);
+      }
+    }
+    if (collector != nullptr) {
+      collector->live().add_edges_scanned(num_records);
+      collector->live().add_updates(stage.emitted, stage.sieved);
+    }
+    return {num_records, stage.emitted, stage.sieved};
+  }
+
+  const std::uint64_t num_chunks =
+      num_records == 0 ? 0 : (num_records + chunk_records - 1) / chunk_records;
+  OrderedGate gate;
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> sieved{0};
+  std::vector<std::future<void>> chunks;
+  chunks.reserve(num_chunks);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    chunks.push_back(exec.pool->submit([&, c] {
+      const std::uint64_t first = c * chunk_records;
+      const std::uint64_t count =
+          std::min(chunk_records, num_records - first);
+      ScatterStage<P> stage(program, layout, sieve_updates);
+      auto chunk = trim.make_chunk_state();
+      try {
+        stage.process(edges.subspan(first, count), part_begin, states, active,
+                      trim, chunk);
+      } catch (...) {
+        gate.wait_turn(c);
+        gate.complete(c);
+        throw;
+      }
+      gate.wait_turn(c);
+      try {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
+        stage.flush_locked(fanout);
+        trim.flush(chunk);
+      } catch (...) {
+        gate.complete(c);
+        throw;
+      }
+      gate.complete(c);
+      emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
+      sieved.fetch_add(stage.sieved, std::memory_order_relaxed);
+      if (collector != nullptr) {
+        collector->live().add_edges_scanned(count);
+        collector->live().add_updates(stage.emitted, stage.sieved);
+      }
+    }));
+  }
+  join_all(chunks);
+  return {num_records, emitted.load(std::memory_order_relaxed),
+          sieved.load(std::memory_order_relaxed)};
 }
 
 /// Gather (+ apply): partitions with no pending updates keep their
@@ -386,7 +564,7 @@ void gather_partitions(const graph::PartitionedGraph& pg,
     if (pending_updates[q] > 0) {
       metrics::ScopedPhase gather_timer(collector, metrics::Phase::kGather);
       if (!exec.parallel()) {
-        auto updates = io::open_record_reader<Update>(
+        auto updates = io::codec::open_reader<Update>(
             plan.updates(), update_file_name(pg, q), reader);
         for (auto batch = updates->next_batch(); !batch.empty();
              batch = updates->next_batch()) {

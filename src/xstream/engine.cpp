@@ -13,6 +13,10 @@ EngineOptions engine_options_from_config(const Config& config) {
   opts.max_iterations = static_cast<std::uint32_t>(
       config.get_u64_or("xstream.max_iterations", opts.max_iterations));
   opts.num_threads = config.get_threads_or("engine.num_threads", 1);
+  opts.update_codec = io::codec::parse_policy(config.get_enum_or(
+      "updates.codec", {"auto", "raw", "bitmap", "varint"},
+      io::codec::to_string(opts.update_codec)));
+  opts.sieve_updates = config.get_bool_or("updates.sieve", opts.sieve_updates);
   return opts;
 }
 

@@ -48,6 +48,7 @@
 #include "graph/program.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/device_usage.hpp"
+#include "storage/codec.hpp"
 #include "storage/reader_factory.hpp"
 #include "storage/storage_plan.hpp"
 #include "xstream/detail.hpp"
@@ -61,6 +62,18 @@ struct EngineOptions {
   /// state write-back.
   std::size_t write_buffer_bytes = 1 << 20;
   std::uint32_t max_iterations = 1'000'000;
+  /// On-disk format policy for the per-partition update files
+  /// (storage/codec.hpp): raw streams records as before; bitmap /
+  /// varint / auto buffer each partition's updates and encode at the
+  /// end of the scatter phase. The duplicate-collapsing bitmap format
+  /// only ever applies to idempotent-gather programs; forced formats
+  /// degrade to raw when ineligible, so any policy is safe for any
+  /// program.
+  io::codec::Policy update_codec = io::codec::Policy::kRaw;
+  /// Drop dominated same-destination updates at the scatter staging
+  /// buffers, before they reach the shuffle writers. Exact for
+  /// SieveCapable programs (min-fold gathers); ignored for the rest.
+  bool sieve_updates = false;
   /// Leave the final state files (and the last update files) on their
   /// devices instead of removing them after the run.
   bool keep_files = false;
@@ -79,7 +92,8 @@ struct EngineOptions {
 /// Reads `io.reader` / `io.reader_buffer` (reader_factory),
 /// `xstream.write_buffer` (byte size), `xstream.max_iterations`,
 /// `engine.num_threads` (0 = hardware concurrency; shared key with
-/// core::run).
+/// core::run), and the shared update-stream keys `updates.codec`
+/// (auto | raw | bitmap | varint) and `updates.sieve` (bool).
 EngineOptions engine_options_from_config(const Config& config);
 
 /// Reads `xstream.partition_count`, falling back to `fallback`.
@@ -134,7 +148,8 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     {
       Stopwatch scatter_clock;
       auto fanout = detail::open_update_fanout<Update>(
-          pg, plan, options.write_buffer_bytes);
+          pg, plan, options.write_buffer_bytes, options.update_codec,
+          graph::kIdempotentGatherV<P>);
       detail::NullTrimSink no_trim;
       for (std::uint32_t p = 0; p < num_partitions; ++p) {
         if (!P::kScatterAllVertices &&
@@ -150,19 +165,23 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
         const std::vector<State> states = detail::read_records<State>(
             plan.state(), state_file_name(pg, p), options.reader,
             layout.size(p));
-        const std::uint64_t scanned = detail::scatter_partition<P>(
-            exec, plan.edges(), pg.partition_file(p),
+        const detail::ScatterResult scattered = detail::scatter_partition<P>(
+            exec, plan.edges(), pg.partition_file(p), /*base_offset=*/0,
             pg.edges_per_partition[p], layout, layout.begin(p), states,
-            active, program, options.reader, fanout, no_trim, collector);
-        FB_CHECK_MSG(scanned == pg.edges_per_partition[p],
+            active, program, options.reader, options.sieve_updates, fanout,
+            no_trim, collector);
+        FB_CHECK_MSG(scattered.scanned == pg.edges_per_partition[p],
                      pg.partition_file(p)
-                         << " scanned " << scanned << " edges, expected "
-                         << pg.edges_per_partition[p]);
+                         << " scanned " << scattered.scanned
+                         << " edges, expected " << pg.edges_per_partition[p]);
+        stats.updates_sieved += scattered.sieved;
       }
       {
         metrics::ScopedPhase flush_timer(collector,
                                          metrics::Phase::kShuffleFlush);
-        stats.updates_emitted = fanout.close(pending_updates);
+        const auto closed = fanout.close(pending_updates);
+        stats.updates_emitted = closed.updates;
+        stats.update_codec_bytes = closed.file_bytes;
       }
       stats.scatter_seconds = scatter_clock.seconds();
     }

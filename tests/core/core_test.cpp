@@ -86,7 +86,9 @@ TEST(CoreEngine, EngineOptionsComeFromConfigKeys) {
       "core.stay_buffer = 64K\n"
       "core.stay_pool_buffers = 8\n"
       "core.partition_count = 6\n"
-      "engine.num_threads = 2\n");
+      "engine.num_threads = 2\n"
+      "updates.codec = varint\n"
+      "updates.sieve = true\n");
 
   const core::EngineOptions opts = core::engine_options_from_config(config);
   EXPECT_EQ(opts.write_buffer_bytes, 256u * 1024);
@@ -100,7 +102,21 @@ TEST(CoreEngine, EngineOptionsComeFromConfigKeys) {
   EXPECT_EQ(opts.stay_buffer_bytes, 64u * 1024);
   EXPECT_EQ(opts.stay_pool_buffers, 8u);
   EXPECT_EQ(opts.num_threads, 2u);
+  EXPECT_EQ(opts.update_codec, io::codec::Policy::kVarint);
+  EXPECT_TRUE(opts.sieve_updates);
+  // The stay codec follows the resolved updates.codec unless its own
+  // key overrides it.
+  EXPECT_EQ(opts.stay_codec, io::codec::Policy::kVarint);
+  const core::EngineOptions overridden = core::engine_options_from_config(
+      Config::parse_string("updates.codec = auto\n"
+                           "updates.stay_codec = raw\n"));
+  EXPECT_EQ(overridden.update_codec, io::codec::Policy::kAuto);
+  EXPECT_EQ(overridden.stay_codec, io::codec::Policy::kRaw);
   EXPECT_EQ(core::engine_options_from_config(Config{}).num_threads, 1u);
+  EXPECT_EQ(core::engine_options_from_config(Config{}).update_codec,
+            io::codec::Policy::kRaw);
+  EXPECT_EQ(core::engine_options_from_config(Config{}).stay_codec,
+            io::codec::Policy::kRaw);
   EXPECT_EQ(core::partition_count_from_config(config, 2), 6u);
   EXPECT_EQ(core::partition_count_from_config(Config{}, 2), 2u);
 }

@@ -137,17 +137,24 @@ TEST(XStream, EngineOptionsComeFromConfigKeys) {
       "xstream.write_buffer = 2M\n"
       "xstream.max_iterations = 42\n"
       "xstream.partition_count = 12\n"
-      "engine.num_threads = 3\n");
+      "engine.num_threads = 3\n"
+      "updates.codec = auto\n"
+      "updates.sieve = true\n");
   const EngineOptions options = engine_options_from_config(cfg);
   EXPECT_EQ(options.reader.mode, io::ReaderMode::kPrefetch);
   EXPECT_EQ(options.reader.buffer_bytes, 256u * 1024);
   EXPECT_EQ(options.write_buffer_bytes, 2u * 1024 * 1024);
   EXPECT_EQ(options.max_iterations, 42u);
   EXPECT_EQ(options.num_threads, 3u);
+  EXPECT_EQ(options.update_codec, io::codec::Policy::kAuto);
+  EXPECT_TRUE(options.sieve_updates);
   EXPECT_EQ(partition_count_from_config(cfg, 4), 12u);
   EXPECT_EQ(partition_count_from_config(Config(), 4), 4u);
-  // Absent key -> the serial engine.
+  // Absent keys -> the serial engine writing raw, sieve off.
   EXPECT_EQ(engine_options_from_config(Config()).num_threads, 1u);
+  EXPECT_EQ(engine_options_from_config(Config()).update_codec,
+            io::codec::Policy::kRaw);
+  EXPECT_FALSE(engine_options_from_config(Config()).sieve_updates);
 }
 
 std::vector<std::byte> file_bytes(io::Device& dev, const std::string& name) {
