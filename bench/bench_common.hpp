@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/types.hpp"
 #include "graph/generators.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
@@ -65,6 +66,11 @@ struct SystemOptions {
   io::codec::Policy update_codec = io::codec::Policy::kRaw;
   /// Staging-buffer sieve (exact for BFS's min-fold gather).
   bool sieve_updates = false;
+  /// Traversal-direction strategy (core.direction), FastBFS only — the
+  /// x-stream baseline is always top-down. The transposed view is
+  /// prebuilt at dataset setup, so measured runs only pay the bottom-up
+  /// scans themselves.
+  engine::Direction direction = engine::Direction::kTopDown;
   metrics::CollectorOptions collector;
 };
 

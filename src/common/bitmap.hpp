@@ -94,6 +94,32 @@ class AtomicBitmap {
     return (data_[last].load(std::memory_order_relaxed) & tail_mask) != 0;
   }
 
+  /// True iff every bit in [begin, end) is set — the bottom-up
+  /// engine's "is partition q fully visited?" probe (skip its in-edge
+  /// scan outright). Same word-level shape as any_in_range.
+  bool all_in_range(std::uint64_t begin, std::uint64_t end) const {
+    FB_CHECK_LE(begin, end);
+    FB_CHECK_LE(end, bits_);
+    if (begin == end) return true;
+    const std::uint64_t first = begin >> 6;
+    const std::uint64_t last = (end - 1) >> 6;
+    const std::uint64_t head_mask = ~0ull << (begin & 63);
+    const std::uint64_t tail_mask = ~0ull >> (63 - ((end - 1) & 63));
+    if (first == last) {
+      const std::uint64_t mask = head_mask & tail_mask;
+      return (data_[first].load(std::memory_order_relaxed) & mask) == mask;
+    }
+    if ((data_[first].load(std::memory_order_relaxed) & head_mask) !=
+        head_mask) {
+      return false;
+    }
+    for (std::uint64_t w = first + 1; w < last; ++w) {
+      if (data_[w].load(std::memory_order_relaxed) != ~0ull) return false;
+    }
+    return (data_[last].load(std::memory_order_relaxed) & tail_mask) ==
+           tail_mask;
+  }
+
   std::uint64_t num_words() const { return words_; }
 
   /// Word w's 64 bits (bit i lives in word i>>6 at position i&63) — the

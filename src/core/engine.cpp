@@ -5,43 +5,13 @@
 namespace fbfs::core {
 
 EngineOptions engine_options_from_config(const Config& config) {
-  EngineOptions opts;
-  opts.reader = io::reader_options_from_config(config);
-  opts.write_buffer_bytes = static_cast<std::size_t>(
-      config.get_bytes_or("core.write_buffer", opts.write_buffer_bytes));
-  opts.max_iterations = static_cast<std::uint32_t>(
-      config.get_u64_or("core.max_iterations", opts.max_iterations));
-  opts.trim = config.get_bool_or("core.trim", opts.trim);
-  opts.selective = config.get_bool_or("core.selective", opts.selective);
-  opts.trim_start_round = static_cast<std::uint32_t>(
-      config.get_u64_or("core.trim_start_round", opts.trim_start_round));
-  opts.trim_min_frontier_fraction = config.get_f64_or(
-      "core.trim_min_frontier_fraction", opts.trim_min_frontier_fraction);
-  opts.trim_min_dead_fraction = config.get_f64_or(
-      "core.trim_min_dead_fraction", opts.trim_min_dead_fraction);
-  opts.grace_timeout_seconds =
-      config.get_f64_or("core.grace_timeout", opts.grace_timeout_seconds);
-  opts.stay_buffer_bytes = static_cast<std::size_t>(
-      config.get_bytes_or("core.stay_buffer", opts.stay_buffer_bytes));
-  opts.stay_pool_buffers = static_cast<std::size_t>(
-      config.get_u64_or("core.stay_pool_buffers", opts.stay_pool_buffers));
-  opts.num_threads = config.get_threads_or("engine.num_threads", 1);
-  const std::string update_codec = config.get_enum_or(
-      "updates.codec", {"auto", "raw", "bitmap", "varint"},
-      io::codec::to_string(opts.update_codec));
-  opts.update_codec = io::codec::parse_policy(update_codec);
-  opts.sieve_updates = config.get_bool_or("updates.sieve", opts.sieve_updates);
-  // Stay files follow the update codec unless overridden.
-  opts.stay_codec = io::codec::parse_policy(config.get_enum_or(
-      "updates.stay_codec", {"auto", "raw", "bitmap", "varint"},
-      update_codec));
-  return opts;
+  return engine::options_from_config(config, engine::Kind::kCore);
 }
 
 std::uint32_t partition_count_from_config(const Config& config,
                                           std::uint32_t fallback) {
-  return static_cast<std::uint32_t>(
-      config.get_u64_or("core.partition_count", fallback));
+  return engine::partition_count_from_config(config, engine::Kind::kCore,
+                                             fallback);
 }
 
 std::string stay_file_name(const graph::PartitionedGraph& pg,

@@ -50,6 +50,8 @@
 #include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "core/direction.hpp"
+#include "engine/types.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
 #include "metrics/collector.hpp"
@@ -62,73 +64,29 @@
 
 namespace fbfs::core {
 
-struct EngineOptions {
-  /// Edge, update, and state streams all honour this mode/buffer.
-  io::ReaderOptions reader;
-  /// Split across the P update writers during scatter; whole for the
-  /// state write-back.
-  std::size_t write_buffer_bytes = 1 << 20;
-  std::uint32_t max_iterations = 1'000'000;
-  /// Leave state, update, and stay files on their devices after the run.
-  bool keep_files = false;
+/// The unified engine surface (engine/types.hpp — the one place the
+/// shared-key precedence is documented). This engine reads every field:
+/// the trim knobs, the stay-stream codec (raw keeps the fully streamed
+/// async write; the other policies buffer survivors and encode at
+/// finish time, bitmap never applying since multi-edges keep their
+/// multiplicity), and the direction strategy below.
+using EngineOptions = engine::Options;
+using Direction = engine::Direction;
 
-  /// Master switch for edge trimming (only effective for kTrimmable
-  /// programs).
-  bool trim = true;
-  /// Skip partitions with no active source (xstream always does; here a
-  /// knob so the ablation can price it).
-  bool selective = true;
-  /// First round allowed to start a trim (0 = eager).
-  std::uint32_t trim_start_round = 0;
-  /// Trim only when at least this fraction of all vertices is active
-  /// this round (a large frontier retires many sources at once, so the
-  /// rewrite pays; high-diameter graphs with sliver frontiers gate out).
-  double trim_min_frontier_fraction = 0.0;
-  /// Trim only when the partition's previous scan saw at least this
-  /// fraction of its input edges already dead.
-  double trim_min_dead_fraction = 0.0;
-  /// Seconds the next scatter of a partition waits for its pending stay
-  /// stream before cancelling and falling back to the previous input.
-  double grace_timeout_seconds = 5.0;
-  /// AsyncWriter pool geometry for the stay streams.
-  std::size_t stay_buffer_bytes = 1 << 20;
-  std::size_t stay_pool_buffers = 4;
-  /// On-disk format policy for the per-partition update files — same
-  /// semantics as xstream::EngineOptions::update_codec.
-  io::codec::Policy update_codec = io::codec::Policy::kRaw;
-  /// Drop dominated same-destination updates at the scatter staging
-  /// buffers (SieveCapable programs only).
-  bool sieve_updates = false;
-  /// Format policy for the trimmed stay files. Raw keeps today's fully
-  /// streamed async write (plus the self-describing header); the other
-  /// policies buffer survivors and encode the whole stream at finish
-  /// time — still written asynchronously, still .wip-staged. The
-  /// bitmap format never applies (multi-edges must keep their
-  /// multiplicity), so auto here means raw-vs-varint by exact cost.
-  io::codec::Policy stay_codec = io::codec::Policy::kRaw;
-  /// Worker threads for the scatter/gather phases. 1 = the serial
-  /// engine (no pool); 0 = one per hardware thread. States, outputs,
-  /// update files, and stay files are bit-identical at every count
-  /// (chunk-ordered hand-off; see xstream/detail.hpp).
-  std::uint32_t num_threads = 1;
-  /// Optional observability hook (not owned). Null runs the engine
-  /// exactly as before — no allocation, no clock reads, no extra
-  /// atomics — and collection never changes results or on-device bytes
-  /// either way (see metrics/collector.hpp).
-  metrics::Collector* collector = nullptr;
-};
+template <graph::GraphProgram P>
+using RunResult = engine::RunResult<P>;
 
-/// Reads `io.reader` / `io.reader_buffer` (reader_factory) and the
-/// `core.*` keys: write_buffer, max_iterations, trim, selective,
-/// trim_start_round, trim_min_frontier_fraction, trim_min_dead_fraction,
-/// grace_timeout (seconds), stay_buffer, stay_pool_buffers — plus
-/// `engine.num_threads` (0 = hardware concurrency; shared key with
-/// xstream::run) and the shared update-stream keys `updates.codec`
-/// (auto | raw | bitmap | varint), `updates.sieve` (bool), and
-/// `updates.stay_codec` (defaults to the resolved `updates.codec`).
+/// engine::options_from_config(config, Kind::kCore): the shared keys
+/// plus the `core.*` trim knobs (write_buffer, max_iterations, trim,
+/// selective, trim_start_round, trim_min_frontier_fraction,
+/// trim_min_dead_fraction, grace_timeout, stay_buffer,
+/// stay_pool_buffers), `updates.stay_codec` (defaults to the resolved
+/// `updates.codec`), and the direction strategy (`core.direction` =
+/// topdown | bottomup | auto, `core.direction_alpha`,
+/// `core.direction_beta`).
 EngineOptions engine_options_from_config(const Config& config);
 
-/// Reads `core.partition_count`, falling back to `fallback`.
+/// Reads `core.partition_count` > `engine.partition_count` > `fallback`.
 std::uint32_t partition_count_from_config(const Config& config,
                                           std::uint32_t fallback);
 
@@ -142,21 +100,6 @@ std::string stay_file_name(const graph::PartitionedGraph& pg,
 /// bolt onto xstream's struct; the alias keeps the historical
 /// spelling the tests and benches use.
 using IterationStats = metrics::IterationStats;
-
-template <graph::GraphProgram P>
-struct RunResult {
-  std::vector<typename P::State> states;  // all vertices, in id order
-  std::uint32_t iterations = 0;
-  std::uint64_t updates_emitted = 0;
-  std::vector<IterationStats> per_iteration;
-  // Trim totals over the whole run (including streams still pending at
-  // the end, which are resolved with the same grace protocol).
-  std::uint32_t trims_started = 0;
-  std::uint32_t trims_committed = 0;
-  std::uint32_t trims_cancelled = 0;
-  std::uint32_t trims_failed = 0;
-  std::uint64_t stay_edges_written = 0;
-};
 
 namespace detail {
 
@@ -288,11 +231,36 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   std::vector<std::uint64_t> dead_seen(num_partitions, 0);
   std::vector<std::optional<detail::PendingTrim>> pending(num_partitions);
 
+  // ---- direction state (ROADMAP item 4). Only PullCapable programs
+  // can run bottom-up; for the rest any configured direction silently
+  // degrades to top-down and none of this is paid for. The transposed
+  // (in-edge) view builds once up front — or loads from its cache — on
+  // the plan's edge device; `visited` accumulates every frontier ever
+  // activated, which is exactly the claimed set the bottom-up probe and
+  // the cost model's `unvisited` term need.
+  constexpr bool pull_capable = graph::PullCapable<P>;
+  const Direction configured =
+      pull_capable ? options.direction : Direction::kTopDown;
+  std::optional<AtomicBitmap> visited;
+  graph::TransposedView transposed;
+  if constexpr (pull_capable) {
+    if (configured != Direction::kTopDown) {
+      visited.emplace(n);
+      visited->or_with(active);
+      graph::PartitionOptions topts;
+      topts.reader = options.reader.mode;
+      transposed = graph::build_transposed_view(plan, pg, topts);
+    }
+  }
+
   metrics::Collector* const collector = options.collector;
 
   // Resolves partition p's pending stay stream: bounded grace wait,
   // cancel on timeout, settle, then swap the input on commit or fall
-  // back to the previous input otherwise. `stats` is null at end-of-run.
+  // back to the previous input otherwise. `stats` is the current
+  // round's row, or the run's epilogue row at end-of-run — every
+  // resolution lands in exactly one row, so the run totals always equal
+  // the rows' sum (CHECKed below).
   const auto resolve_pending = [&](std::uint32_t p, IterationStats* stats) {
     if (!pending[p]) return;
     metrics::ScopedPhase resolve_timer(collector,
@@ -338,13 +306,86 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
             ? 1.0
             : static_cast<double>(active.count_set()) / static_cast<double>(n);
 
+    // Direction decision: model both modes' bytes from this round's
+    // frontier and the partitions each mode would actually touch, then
+    // decide (forced modes pass straight through). Both costs are
+    // recorded in the round's stats either way, so an ablation can see
+    // the margin the model acted on.
+    Direction mode = Direction::kTopDown;
+    if constexpr (pull_capable) {
+      if (configured != Direction::kTopDown) {
+        DirectionInputs din;
+        din.num_vertices = n;
+        din.total_edges = pg.meta.num_edges;
+        din.frontier = active.count_set();
+        din.unvisited = n - visited->count_set();
+        din.edge_bytes = sizeof(graph::Edge);
+        din.update_bytes = sizeof(Update);
+        for (std::uint32_t p = 0; p < num_partitions; ++p) {
+          if (!options.selective || P::kScatterAllVertices ||
+              active.any_in_range(layout.begin(p), layout.end(p))) {
+            din.topdown_scan_edges += input_edges[p];
+          }
+          if (!visited->all_in_range(layout.begin(p), layout.end(p))) {
+            din.bottomup_scan_edges += transposed.in_edges_per_partition[p];
+          }
+        }
+        DirectionCosts costs;
+        mode = decide_direction(configured, din, options.direction_alpha,
+                                options.direction_beta, &costs);
+        stats.modelled_topdown_bytes = costs.topdown_bytes;
+        stats.modelled_bottomup_bytes = costs.bottomup_bytes;
+        stats.bottomup = mode == Direction::kBottomUp;
+      }
+    }
+
     // Scatter.
     {
       Stopwatch scatter_clock;
       auto fanout = xd::open_update_fanout<Update>(
           pg, plan, options.write_buffer_bytes, options.update_codec,
           graph::kIdempotentGatherV<P>);
-      for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      if constexpr (pull_capable) {
+        if (mode == Direction::kBottomUp) {
+          // Bottom-up: scan the transposed files of partitions that
+          // still hold unvisited vertices and let those vertices probe
+          // the frontier. Pending trims of the FORWARD inputs stay
+          // pending (nothing reads them this round, so their streams
+          // just get more time), and no trim sink runs — the transposed
+          // view is never trimmed.
+          for (std::uint32_t q = 0; q < num_partitions; ++q) {
+            if (visited->all_in_range(layout.begin(q), layout.end(q))) {
+              ++stats.partitions_skipped;
+              if (collector != nullptr) {
+                collector->live().add_partition_skipped();
+              }
+              continue;
+            }
+            ++stats.partitions_scattered;
+            if (collector != nullptr) {
+              collector->live().add_partition_scattered();
+            }
+            metrics::ScopedPhase scatter_timer(collector,
+                                               metrics::Phase::kScatter);
+            const xd::ScatterResult pulled = xd::pull_partition<P>(
+                exec, plan.edges(), graph::transposed_file(pg, q),
+                transposed.in_edges_per_partition[q], layout, q, active,
+                *visited, program, result.iterations, options.reader, fanout,
+                collector);
+            FB_CHECK_MSG(
+                pulled.scanned == transposed.in_edges_per_partition[q],
+                "transposed partition " << q << " of " << pg.meta.name
+                                        << " holds " << pulled.scanned
+                                        << " edges, expected "
+                                        << transposed.in_edges_per_partition[q]);
+            stats.edges_scanned += pulled.scanned;
+            stats.edges_probed += pulled.probed;
+          }
+        }
+      }
+      // Top-down (the entire loop no-ops after a bottom-up pull above).
+      for (std::uint32_t p = 0;
+           mode != Direction::kBottomUp && p < num_partitions; ++p) {
         if (options.selective && !P::kScatterAllVertices &&
             !active.any_in_range(layout.begin(p), layout.end(p))) {
           // A pending trim of a skipped partition stays pending: the
@@ -425,6 +466,8 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
                      "partition " << p << " input of " << pg.meta.name
                                   << " holds " << scattered.scanned
                                   << " edges, expected " << input_edges[p]);
+        stats.edges_scanned += scattered.scanned;
+        stats.edges_probed += scattered.probed;
         stats.updates_sieved += scattered.sieved;
         if (trim_capable) dead_seen[p] = sink.dead_total;
         if (trim_this_scan) {
@@ -470,8 +513,22 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
       }
       stats.scatter_seconds = scatter_clock.seconds();
     }
-    if (stats.updates_emitted == 0 && !P::kScatterAllVertices) break;
+    if (stats.updates_emitted == 0 && !P::kScatterAllVertices) {
+      // The uncounted final round may still have resolved or started
+      // trims; fold its counters into the epilogue row so the run
+      // totals keep reconciling against the per-iteration rows.
+      result.epilogue.trims_started += stats.trims_started;
+      result.epilogue.trims_committed += stats.trims_committed;
+      result.epilogue.trims_cancelled += stats.trims_cancelled;
+      result.epilogue.trims_failed += stats.trims_failed;
+      result.epilogue.stay_edges_written += stats.stay_edges_written;
+      break;
+    }
     result.updates_emitted += stats.updates_emitted;
+    if (stats.bottomup) {
+      ++result.bottomup_rounds;
+      if (collector != nullptr) collector->live().add_bottomup_round();
+    }
 
     next_active.reset();
     {
@@ -488,6 +545,9 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
 
     ++result.iterations;
     std::swap(active, next_active);
+    // The freshly activated vertices are claimed from here on — exactly
+    // what the next bottom-up probe and the cost model must see.
+    if (visited) visited->or_with(active);
     stats.activated = active.count_set();
     stats.seconds = round_clock.seconds();
     metrics::capture_iteration_io(plan, io_before, stats);
@@ -499,7 +559,24 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
 
   // ---- settle the trims the run ended on, collect, tidy.
   for (std::uint32_t p = 0; p < num_partitions; ++p) {
-    resolve_pending(p, nullptr);
+    resolve_pending(p, &result.epilogue);
+  }
+  // Reconcile: run-level trim totals == per-iteration rows + epilogue.
+  // Drift here means a resolution was dropped or double-counted.
+  {
+    IterationStats sum = result.epilogue;
+    for (const IterationStats& s : result.per_iteration) {
+      sum.trims_started += s.trims_started;
+      sum.trims_committed += s.trims_committed;
+      sum.trims_cancelled += s.trims_cancelled;
+      sum.trims_failed += s.trims_failed;
+      sum.stay_edges_written += s.stay_edges_written;
+    }
+    FB_CHECK_EQ(sum.trims_started, result.trims_started);
+    FB_CHECK_EQ(sum.trims_committed, result.trims_committed);
+    FB_CHECK_EQ(sum.trims_cancelled, result.trims_cancelled);
+    FB_CHECK_EQ(sum.trims_failed, result.trims_failed);
+    FB_CHECK_EQ(sum.stay_edges_written, result.stay_edges_written);
   }
   result.states = xd::collect_states<P>(pg, plan, options.reader);
   if (!options.keep_files) {

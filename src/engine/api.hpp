@@ -1,0 +1,38 @@
+// engine::run — the one run entry the benches and tests dispatch
+// through. Picks the engine by engine::Kind at runtime; all three
+// variants consume the same engine::Options and produce the same
+// engine::RunResult<P> (types.hpp), so a caller can sweep engines in a
+// loop instead of hard-coding one namespace per arm.
+//
+// The streaming engines run over the partitioned graph + storage plan
+// as before. Kind::kInmem ignores the partitioning and builds the
+// reference CSR straight off the plan's edge device — the same call
+// every equivalence test makes by hand — so one dispatch covers the
+// reference run too.
+#pragma once
+
+#include "core/engine.hpp"
+#include "engine/types.hpp"
+#include "graph/csr.hpp"
+#include "inmem/engine.hpp"
+#include "xstream/engine.hpp"
+
+namespace fbfs::engine {
+
+template <graph::GraphProgram P>
+RunResult<P> run(Kind kind, const graph::PartitionedGraph& pg,
+                 const io::StoragePlan& plan, const P& program,
+                 const Options& options = {}) {
+  switch (kind) {
+    case Kind::kInmem:
+      return inmem::run_graph(plan.edges(), pg.meta, program, options);
+    case Kind::kXstream:
+      return xstream::run(pg, plan, program, options);
+    case Kind::kCore:
+      return core::run(pg, plan, program, options);
+  }
+  FB_CHECK_MSG(false, "unreachable engine kind");
+  return {};
+}
+
+}  // namespace fbfs::engine

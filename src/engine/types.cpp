@@ -1,0 +1,120 @@
+#include "engine/types.hpp"
+
+#include "common/check.hpp"
+
+namespace fbfs::engine {
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kInmem:
+      return "inmem";
+    case Kind::kXstream:
+      return "xstream";
+    case Kind::kCore:
+      return "core";
+  }
+  return "?";
+}
+
+Kind parse_kind(const std::string& name) {
+  if (name == "inmem") return Kind::kInmem;
+  if (name == "xstream") return Kind::kXstream;
+  if (name == "core" || name == "fastbfs") return Kind::kCore;
+  FB_CHECK_MSG(false, "unknown engine kind '" << name
+                                              << "' (inmem | xstream | core)");
+  return Kind::kInmem;
+}
+
+const char* to_string(Direction direction) {
+  switch (direction) {
+    case Direction::kTopDown:
+      return "topdown";
+    case Direction::kBottomUp:
+      return "bottomup";
+    case Direction::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+Direction parse_direction(const std::string& name) {
+  if (name == "topdown") return Direction::kTopDown;
+  if (name == "bottomup") return Direction::kBottomUp;
+  if (name == "auto") return Direction::kAuto;
+  FB_CHECK_MSG(false, "unknown direction '" << name
+                                            << "' (topdown | bottomup | auto)");
+  return Direction::kTopDown;
+}
+
+namespace {
+
+/// `<kind>.key` > `engine.key` > `fallback` — the shared-key precedence
+/// the header documents, applied to one u64-ish key.
+std::uint64_t layered_u64(const Config& config, Kind kind,
+                          const std::string& key, std::uint64_t fallback) {
+  const std::uint64_t shared =
+      config.get_u64_or("engine." + key, fallback);
+  return config.get_u64_or(std::string(to_string(kind)) + "." + key, shared);
+}
+
+std::uint64_t layered_bytes(const Config& config, Kind kind,
+                            const std::string& key, std::uint64_t fallback) {
+  const std::uint64_t shared =
+      config.get_bytes_or("engine." + key, fallback);
+  return config.get_bytes_or(std::string(to_string(kind)) + "." + key, shared);
+}
+
+}  // namespace
+
+Options options_from_config(const Config& config, Kind kind) {
+  Options opts;
+  opts.reader = io::reader_options_from_config(config);
+  opts.write_buffer_bytes = static_cast<std::size_t>(
+      layered_bytes(config, kind, "write_buffer", opts.write_buffer_bytes));
+  opts.max_iterations = static_cast<std::uint32_t>(
+      layered_u64(config, kind, "max_iterations", opts.max_iterations));
+  opts.num_threads = config.get_threads_or("engine.num_threads", 1);
+  const std::string update_codec = config.get_enum_or(
+      "updates.codec", {"auto", "raw", "bitmap", "varint"},
+      io::codec::to_string(opts.update_codec));
+  opts.update_codec = io::codec::parse_policy(update_codec);
+  opts.sieve_updates = config.get_bool_or("updates.sieve", opts.sieve_updates);
+  if (kind != Kind::kCore) return opts;
+
+  // ---- core-only: trim, stay-stream, and direction knobs.
+  opts.trim = config.get_bool_or("core.trim", opts.trim);
+  opts.selective = config.get_bool_or("core.selective", opts.selective);
+  opts.trim_start_round = static_cast<std::uint32_t>(
+      config.get_u64_or("core.trim_start_round", opts.trim_start_round));
+  opts.trim_min_frontier_fraction = config.get_f64_or(
+      "core.trim_min_frontier_fraction", opts.trim_min_frontier_fraction);
+  opts.trim_min_dead_fraction = config.get_f64_or(
+      "core.trim_min_dead_fraction", opts.trim_min_dead_fraction);
+  opts.grace_timeout_seconds =
+      config.get_f64_or("core.grace_timeout", opts.grace_timeout_seconds);
+  opts.stay_buffer_bytes = static_cast<std::size_t>(
+      config.get_bytes_or("core.stay_buffer", opts.stay_buffer_bytes));
+  opts.stay_pool_buffers = static_cast<std::size_t>(
+      config.get_u64_or("core.stay_pool_buffers", opts.stay_pool_buffers));
+  // Stay files follow the update codec unless overridden.
+  opts.stay_codec = io::codec::parse_policy(config.get_enum_or(
+      "updates.stay_codec", {"auto", "raw", "bitmap", "varint"},
+      update_codec));
+  opts.direction = parse_direction(config.get_enum_or(
+      "core.direction", {"topdown", "bottomup", "auto"},
+      to_string(opts.direction)));
+  opts.direction_alpha =
+      config.get_f64_or("core.direction_alpha", opts.direction_alpha);
+  opts.direction_beta =
+      config.get_f64_or("core.direction_beta", opts.direction_beta);
+  return opts;
+}
+
+std::uint32_t partition_count_from_config(const Config& config, Kind kind,
+                                          std::uint32_t fallback) {
+  if (kind == Kind::kInmem) return fallback;
+  return static_cast<std::uint32_t>(
+      layered_u64(config, kind, "partition_count", fallback));
+}
+
+}  // namespace fbfs::engine

@@ -1,7 +1,10 @@
 #include "graph/partitioner.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
+#include "common/config.hpp"
 #include "common/log.hpp"
 #include "storage/stream.hpp"
 
@@ -92,6 +95,139 @@ PartitionedGraph partition_edge_list(const io::StoragePlan& plan,
   FB_LOG_DEBUG << "partitioned " << meta.name << " into " << num_partitions
                << " ranges (" << total << " edges)";
   return pg;
+}
+
+std::string transposed_file(const PartitionedGraph& pg, std::uint32_t q) {
+  return pg.meta.name + ".P" + std::to_string(pg.layout.num_partitions()) +
+         ".tpart" + std::to_string(q);
+}
+
+std::string transposed_meta_file(const PartitionedGraph& pg) {
+  return pg.meta.name + ".P" + std::to_string(pg.layout.num_partitions()) +
+         ".tmeta";
+}
+
+namespace {
+
+/// A cache hit: the sidecar matches this graph + partition count and
+/// every transposed file is exactly the size the sidecar recorded.
+bool load_cached_transposed_view(io::Device& device,
+                                 const PartitionedGraph& pg,
+                                 TransposedView& view) {
+  const std::string meta_name = transposed_meta_file(pg);
+  if (!device.exists(meta_name)) return false;
+  const Config cfg = Config::parse_file(device.path(meta_name));
+  if (cfg.get_u64_or("num_partitions", 0) != pg.layout.num_partitions() ||
+      cfg.get_u64_or("num_edges", 0) != pg.meta.num_edges ||
+      cfg.get_u64_or("checksum", 0) != pg.meta.checksum) {
+    return false;
+  }
+  std::vector<std::uint64_t> counts(pg.layout.num_partitions());
+  for (std::uint32_t q = 0; q < counts.size(); ++q) {
+    counts[q] = cfg.get_u64_or("in_edges" + std::to_string(q), 0);
+    const std::string name = transposed_file(pg, q);
+    if (!device.exists(name) ||
+        device.file_size(name) != counts[q] * sizeof(Edge)) {
+      return false;
+    }
+  }
+  view.in_edges_per_partition = std::move(counts);
+  FB_LOG_DEBUG << "transposed view of " << pg.meta.name << " ("
+               << pg.layout.num_partitions() << " partitions): cache hit";
+  return true;
+}
+
+}  // namespace
+
+TransposedView build_transposed_view(const io::StoragePlan& plan,
+                                     const PartitionedGraph& pg,
+                                     const PartitionOptions& options) {
+  io::Device& device = plan.edges();
+  TransposedView view;
+  if (load_cached_transposed_view(device, pg, view)) return view;
+
+  const std::uint32_t num_partitions = pg.layout.num_partitions();
+  view.in_edges_per_partition.assign(num_partitions, 0);
+
+  // Pass 1 — fan out by DESTINATION owner, streaming each source
+  // partition file in order (the same split-the-budget buffering as the
+  // forward partitioner). The multiset checksum re-verifies the
+  // partition files en route.
+  const std::size_t read_buffer =
+      std::max<std::size_t>(sizeof(Edge), options.buffer_bytes / 2);
+  const std::size_t write_buffer = std::max<std::size_t>(
+      sizeof(Edge), options.buffer_bytes / 2 / num_partitions);
+  struct PartitionOut {
+    std::unique_ptr<io::File> file;
+    std::unique_ptr<io::RecordWriter<Edge>> writer;
+  };
+  {
+    std::vector<PartitionOut> outputs(num_partitions);
+    for (std::uint32_t q = 0; q < num_partitions; ++q) {
+      outputs[q].file = device.open(transposed_file(pg, q), /*truncate=*/true);
+      outputs[q].writer = std::make_unique<io::RecordWriter<Edge>>(
+          *outputs[q].file, write_buffer);
+    }
+    std::uint64_t total = 0;
+    std::uint64_t checksum = 0;
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      auto reader = io::open_record_reader<Edge>(
+          device, pg.partition_file(p), {options.reader, read_buffer, 0});
+      for (auto batch = reader->next_batch(); !batch.empty();
+           batch = reader->next_batch()) {
+        for (const Edge& e : batch) {
+          const std::uint32_t q = pg.layout.owner(e.dst);
+          outputs[q].writer->append(e);
+          ++view.in_edges_per_partition[q];
+          checksum += edge_digest(e);
+        }
+        total += batch.size();
+      }
+    }
+    for (PartitionOut& out : outputs) out.writer->flush();
+    FB_CHECK_MSG(total == pg.meta.num_edges,
+                 "transpose read " << total << " edges of " << pg.meta.name
+                                   << ", sidecar says " << pg.meta.num_edges);
+    FB_CHECK_MSG(checksum == pg.meta.checksum,
+                 "partition files of " << pg.meta.name
+                                       << " fail their checksum during "
+                                          "transposition");
+  }
+
+  // Pass 2 — sort each transposed file by destination (stable, so
+  // same-dst edges keep their pass-1 order and the output is a pure
+  // function of the partition files). The dst-sorted layout is what
+  // lets the bottom-up scan treat each vertex's in-edges as one run.
+  for (std::uint32_t q = 0; q < num_partitions; ++q) {
+    const std::string name = transposed_file(pg, q);
+    std::vector<Edge> edges(view.in_edges_per_partition[q]);
+    {
+      auto file = device.open(name, /*truncate=*/false);
+      const std::uint64_t bytes = edges.size() * sizeof(Edge);
+      FB_CHECK_EQ(file->read_at(0, edges.data(), bytes), bytes);
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge& a, const Edge& b) { return a.dst < b.dst; });
+    auto file = device.open(name, /*truncate=*/true);
+    io::RecordWriter<Edge> writer(*file, read_buffer);
+    for (const Edge& e : edges) writer.append(e);
+    writer.flush();
+  }
+
+  // Sidecar last: its presence certifies the files above are complete.
+  Config cfg;
+  cfg.set_u64("num_partitions", num_partitions);
+  cfg.set_u64("num_edges", pg.meta.num_edges);
+  cfg.set_u64("checksum", pg.meta.checksum);
+  for (std::uint32_t q = 0; q < num_partitions; ++q) {
+    cfg.set_u64("in_edges" + std::to_string(q),
+                view.in_edges_per_partition[q]);
+  }
+  cfg.write_file(device.path(transposed_meta_file(pg)));
+  FB_LOG_DEBUG << "built transposed view of " << pg.meta.name << " ("
+               << num_partitions << " partitions, " << pg.meta.num_edges
+               << " edges)";
+  return view;
 }
 
 std::vector<std::uint32_t> compute_out_degrees(io::Device& device,

@@ -77,6 +77,34 @@ inline PartitionedGraph partition_edge_list(io::Device& device,
                              num_partitions, {.buffer_bytes = buffer_bytes});
 }
 
+/// The transposed (in-edge) partition view the bottom-up direction
+/// scans: partition q's transposed file holds every edge whose
+/// DESTINATION q owns, sorted by destination — dst-sorted so a
+/// bottom-up scan sees each target's in-edges as one contiguous run and
+/// can stop probing a vertex the moment it is claimed. Built once from
+/// the partition files (one fan-out pass + one per-partition sort) and
+/// cached on the plan's edge device behind a `.tmeta` sidecar; later
+/// runs at the same partition count load the counts and skip the build.
+struct TransposedView {
+  /// In-edges landing in each partition's vertex range. Sums to
+  /// meta.num_edges.
+  std::vector<std::uint64_t> in_edges_per_partition;
+};
+
+/// On-device name of partition q's transposed (in-edge) file.
+std::string transposed_file(const PartitionedGraph& pg, std::uint32_t q);
+/// The cache sidecar recording per-partition counts + checksum.
+std::string transposed_meta_file(const PartitionedGraph& pg);
+
+/// Builds (or loads, on a cache hit) the transposed view of `pg` on the
+/// plan's edges device. The fan-out pass verifies the edge multiset
+/// checksum against the sidecar; the cache is valid only when the
+/// `.tmeta` sidecar matches the graph and every transposed file has its
+/// recorded size.
+TransposedView build_transposed_view(const io::StoragePlan& plan,
+                                     const PartitionedGraph& pg,
+                                     const PartitionOptions& options = {});
+
 struct DegreeStats {
   std::uint64_t max_degree = 0;
   VertexId max_degree_vertex = 0;

@@ -93,6 +93,31 @@ concept SieveCapable = kIdempotentGatherV<P> &&
       { p.dominated(u, u) } -> std::same_as<bool>;
     };
 
+/// A program the bottom-up (pull) direction can run on (core::run's
+/// direction strategy): `pull(e, round, out)` produces the update edge
+/// e would carry to e.dst GIVEN ONLY that e.src is in the round-r
+/// frontier — without reading src's State, which a bottom-up in-edge
+/// scan of dst's partition does not have loaded. The contract:
+///
+///   * the engine calls pull(e, r, out) only when e.src is active in
+///     round r, and the emitted update must be byte-identical to what
+///     scatter(e, state-of-src-at-round-r, out) would emit;
+///   * every update pulled for the same dst in the same round must be
+///     byte-identical (so dropping all but the first — the per-vertex
+///     claimed short-circuit — cannot change any state), which is why
+///     the concept additionally requires an idempotent gather.
+///
+/// BFS satisfies both: a round-r frontier vertex has level exactly r,
+/// so pull emits {dst, r+1} — the same record any frontier in-neighbor
+/// would push. Level-agnostic programs (WCC's labels, SSSP's
+/// distances, PageRank's ranks) cannot reconstruct the update from the
+/// round number alone and stay top-down.
+template <typename P>
+concept PullCapable = kIdempotentGatherV<P> &&
+    requires(const P p, const Edge e, typename P::Update u) {
+      { p.pull(e, std::uint32_t{}, u) } -> std::same_as<bool>;
+    };
+
 /// Deterministic per-edge weight in [1, 2): SSSP needs weights, edge
 /// files store none, and both engines see the same (src, dst) pairs —
 /// so both derive the identical weight from the edge digest.
@@ -135,6 +160,14 @@ struct BfsProgram {
   }
   bool scatter(const Edge& e, const State& src, Update& out) const {
     out = {e.dst, src.level + 1};
+    return true;
+  }
+  /// The bottom-up hook (PullCapable): a round-r frontier source has
+  /// level exactly r (levels are set once, by the round that claims
+  /// them), so the update e.dst would receive is reconstructible from
+  /// the round number alone — byte-identical to scatter's.
+  bool pull(const Edge& e, std::uint32_t round, Update& out) const {
+    out = {e.dst, round + 1};
     return true;
   }
   bool gather(const Update& u, State& dst) const {
@@ -308,6 +341,14 @@ static_assert(GraphProgram<PageRankProgram>);
 static_assert(SieveCapable<BfsProgram>);
 static_assert(SieveCapable<WccProgram>);
 static_assert(SieveCapable<SsspProgram>);
+
+// Only BFS can reconstruct a frontier source's update from the round
+// number; the others' updates depend on source state the bottom-up scan
+// never loads.
+static_assert(PullCapable<BfsProgram>);
+static_assert(!PullCapable<WccProgram>);
+static_assert(!PullCapable<SsspProgram>);
+static_assert(!PullCapable<PageRankProgram>);
 // PageRank's additive gather counts every delivery: sieving or
 // collapsing duplicates would change ranks.
 static_assert(!kIdempotentGatherV<PageRankProgram>);

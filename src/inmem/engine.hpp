@@ -26,29 +26,24 @@
 #include "common/bitmap.hpp"
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
+#include "engine/types.hpp"
 #include "graph/csr.hpp"
 #include "graph/program.hpp"
 #include "metrics/collector.hpp"
 
 namespace fbfs::inmem {
 
-struct RunOptions {
-  std::uint32_t max_iterations = 1'000'000;
-  /// Optional observability hook (not owned). Null keeps the hot loops
-  /// unchanged — no allocation, no atomics, no per-edge clock reads
-  /// (see metrics/collector.hpp); the only addition is one per-round
-  /// stopwatch, matching the streaming engines. There is no storage
-  /// plan here, so the per-role I/O block of each iteration row stays
-  /// zero.
-  metrics::Collector* collector = nullptr;
-};
+/// The unified engine surface (engine/types.hpp). This engine reads
+/// only max_iterations and collector; the streaming/trim fields are
+/// ignored. Null collector keeps the hot loops unchanged — no
+/// allocation, no atomics, no per-edge clock reads; the only addition
+/// is one per-round stopwatch, matching the streaming engines. There
+/// is no storage plan here, so the per-role I/O block of each
+/// iteration row stays zero.
+using RunOptions = engine::Options;
 
 template <graph::GraphProgram P>
-struct RunResult {
-  std::vector<typename P::State> states;
-  std::uint32_t iterations = 0;       // counted rounds
-  std::uint64_t updates_emitted = 0;  // across the whole run
-};
+using RunResult = engine::RunResult<P>;
 
 template <graph::GraphProgram P>
 RunResult<P> run(const graph::Csr& csr, const P& program,
@@ -91,6 +86,7 @@ RunResult<P> run(const graph::Csr& csr, const P& program,
     }
     if (collector != nullptr) {
       collector->live().add_edges_scanned(scanned);
+      collector->live().add_edges_probed(scanned);
       collector->live().add_updates(updates.size(), sieved);
     }
     if (updates.empty() && !P::kScatterAllVertices) break;
@@ -114,6 +110,8 @@ RunResult<P> run(const graph::Csr& csr, const P& program,
     if (collector != nullptr) {
       metrics::IterationStats stats;
       stats.iteration = result.iterations - 1;
+      stats.edges_scanned = scanned;
+      stats.edges_probed = scanned;
       stats.updates_emitted = updates.size();
       stats.activated = active.count_set();
       stats.seconds = round_clock.seconds();

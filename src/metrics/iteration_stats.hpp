@@ -69,6 +69,20 @@ struct IterationStats {
   /// bottleneck spindle.
   std::uint64_t max_device_busy_ns = 0;
 
+  /// Direction strategy (core::run; top-down-only engines leave the
+  /// whole block default). `bottomup` records the mode this round ran
+  /// in; edges_scanned counts edge records the scatter/pull actually
+  /// read; edges_probed counts the bottom-up subset that survived the
+  /// per-vertex claimed short-circuit and probed the frontier bitmap
+  /// (top-down rounds set probed = scanned). The modelled byte costs
+  /// are the cost model's two sides for this round — what auto
+  /// compared, recorded whichever way it decided.
+  bool bottomup = false;
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t edges_probed = 0;
+  double modelled_topdown_bytes = 0.0;
+  double modelled_bottomup_bytes = 0.0;
+
   /// Trim life cycle (core::run; zero for the untrimmed engines).
   /// Resolution counters land on the round that RESOLVED the stream —
   /// the next scan of that partition — not the round that started it.

@@ -12,6 +12,9 @@ namespace fbfs::metrics {
 
 struct LiveOpsSnapshot {
   std::uint64_t edges_scanned = 0;
+  std::uint64_t edges_probed = 0;     // bottom-up in-edges that survived the
+                                      // claimed short-circuit and probed the
+                                      // frontier (top-down scans count whole)
   std::uint64_t updates_emitted = 0;  // updates program.scatter produced
   std::uint64_t updates_sieved = 0;   // updates dropped before the shuffle
                                       // writers: scatter declined, or the
@@ -20,11 +23,13 @@ struct LiveOpsSnapshot {
   std::uint64_t partitions_scattered = 0;
   std::uint64_t partitions_skipped = 0;
   std::uint64_t iterations = 0;
+  std::uint64_t bottomup_rounds = 0;  // core direction strategy
 };
 
 class LiveOps {
  public:
   void add_edges_scanned(std::uint64_t n) { edges_scanned_.fetch_add(n, kR); }
+  void add_edges_probed(std::uint64_t n) { edges_probed_.fetch_add(n, kR); }
   void add_updates(std::uint64_t emitted, std::uint64_t sieved) {
     updates_emitted_.fetch_add(emitted, kR);
     updates_sieved_.fetch_add(sieved, kR);
@@ -32,15 +37,18 @@ class LiveOps {
   void add_partition_scattered() { partitions_scattered_.fetch_add(1, kR); }
   void add_partition_skipped() { partitions_skipped_.fetch_add(1, kR); }
   void add_iteration() { iterations_.fetch_add(1, kR); }
+  void add_bottomup_round() { bottomup_rounds_.fetch_add(1, kR); }
 
   LiveOpsSnapshot snapshot() const {
     LiveOpsSnapshot s;
     s.edges_scanned = edges_scanned_.load(kR);
+    s.edges_probed = edges_probed_.load(kR);
     s.updates_emitted = updates_emitted_.load(kR);
     s.updates_sieved = updates_sieved_.load(kR);
     s.partitions_scattered = partitions_scattered_.load(kR);
     s.partitions_skipped = partitions_skipped_.load(kR);
     s.iterations = iterations_.load(kR);
+    s.bottomup_rounds = bottomup_rounds_.load(kR);
     return s;
   }
 
@@ -48,11 +56,13 @@ class LiveOps {
   static constexpr std::memory_order kR = std::memory_order_relaxed;
 
   std::atomic<std::uint64_t> edges_scanned_{0};
+  std::atomic<std::uint64_t> edges_probed_{0};
   std::atomic<std::uint64_t> updates_emitted_{0};
   std::atomic<std::uint64_t> updates_sieved_{0};
   std::atomic<std::uint64_t> partitions_scattered_{0};
   std::atomic<std::uint64_t> partitions_skipped_{0};
   std::atomic<std::uint64_t> iterations_{0};
+  std::atomic<std::uint64_t> bottomup_rounds_{0};
 };
 
 }  // namespace fbfs::metrics

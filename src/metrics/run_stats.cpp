@@ -60,6 +60,24 @@ std::uint64_t RunStats::updates_sieved() const {
   return total;
 }
 
+std::uint64_t RunStats::edges_scanned() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations) total += it.stats.edges_scanned;
+  return total;
+}
+
+std::uint64_t RunStats::edges_probed() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations) total += it.stats.edges_probed;
+  return total;
+}
+
+std::uint32_t RunStats::bottomup_rounds() const {
+  std::uint32_t total = 0;
+  for (const auto& it : iterations) total += it.stats.bottomup ? 1 : 0;
+  return total;
+}
+
 std::array<std::uint64_t, 3> RunStats::update_codec_bytes() const {
   std::array<std::uint64_t, 3> total{};
   for (const auto& it : iterations) {
@@ -94,13 +112,14 @@ void RunStats::print(std::ostream& os) const {
      << Table::count(ops.updates_emitted) << " updates ("
      << Table::count(ops.updates_sieved) << " sieved), "
      << Table::seconds(wall_seconds) << "\n";
-  Table table({"iter", "scat", "skip", "updates", "sieved", "active", "sec",
-               "edges rd", "upd wr", "u raw", "u bmp", "u vint", "stay wr",
-               "trims", "iowait"});
+  Table table({"iter", "dir", "scat", "skip", "updates", "sieved", "active",
+               "sec", "edges rd", "upd wr", "u raw", "u bmp", "u vint",
+               "stay wr", "trims", "iowait"});
   for (const auto& it : iterations) {
     const IterationStats& s = it.stats;
     table.add_row(
-        {std::to_string(s.iteration), std::to_string(s.partitions_scattered),
+        {std::to_string(s.iteration), s.bottomup ? "bu" : "td",
+         std::to_string(s.partitions_scattered),
          std::to_string(s.partitions_skipped), Table::count(s.updates_emitted),
          Table::count(s.updates_sieved), Table::count(s.activated),
          Table::seconds(s.seconds),
@@ -140,8 +159,10 @@ void RunStats::write_json(Json& json) const {
   json.integer("iterations", iterations.size());
   json.number("wall_seconds", wall_seconds);
   json.integer("edges_scanned", ops.edges_scanned);
+  json.integer("edges_probed", ops.edges_probed);
   json.integer("updates_emitted", ops.updates_emitted);
   json.integer("updates_sieved", ops.updates_sieved);
+  json.integer("bottomup_rounds", bottomup_rounds());
   json.integer("partitions_scattered", ops.partitions_scattered);
   json.integer("partitions_skipped", ops.partitions_skipped);
   json.integer("bytes_read", device_bytes_read());
@@ -170,6 +191,13 @@ void RunStats::write_json(Json& json) const {
   for (const auto& it : iterations) {
     const IterationStats& s = it.stats;
     json.open("iter" + std::to_string(s.iteration));
+    json.text("direction", s.bottomup ? "bottomup" : "topdown");
+    json.integer("edges_scanned", s.edges_scanned);
+    json.integer("edges_probed", s.edges_probed);
+    if (s.modelled_topdown_bytes > 0.0 || s.modelled_bottomup_bytes > 0.0) {
+      json.number("modelled_topdown_bytes", s.modelled_topdown_bytes);
+      json.number("modelled_bottomup_bytes", s.modelled_bottomup_bytes);
+    }
     json.integer("updates_emitted", s.updates_emitted);
     json.integer("updates_sieved", s.updates_sieved);
     json.integer("update_bytes_raw", s.update_codec_bytes[0]);

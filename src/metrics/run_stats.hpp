@@ -63,6 +63,14 @@ struct RunStats {
   }
   std::uint64_t updates_emitted() const;
   std::uint64_t updates_sieved() const;
+  /// Edge records the scatter/pull phases actually read, summed over
+  /// the rows (top-down scans + bottom-up in-edge scans).
+  std::uint64_t edges_scanned() const;
+  /// The bottom-up subset that probed the frontier bitmap (top-down
+  /// rounds count their whole scan).
+  std::uint64_t edges_probed() const;
+  /// Rounds the direction strategy ran bottom-up.
+  std::uint32_t bottomup_rounds() const;
   /// Update-file bytes written over the run, bucketed by on-disk codec
   /// format: [raw, bitmap, varint] (io::codec::Format order).
   std::array<std::uint64_t, 3> update_codec_bytes() const;

@@ -219,6 +219,11 @@ struct ScatterResult {
   std::uint64_t scanned = 0;
   std::uint64_t emitted = 0;
   std::uint64_t sieved = 0;
+  /// Edges that actually probed program state: a top-down scan probes
+  /// every edge it scans (probed == scanned); a bottom-up pull skips
+  /// the rest of a vertex's in-edge run once the vertex is claimed, so
+  /// probed is the short-circuit's savings made visible.
+  std::uint64_t probed = 0;
 };
 
 /// One worker's staging state for a scatter window: per-destination-
@@ -367,9 +372,10 @@ ScatterResult scatter_partition(
     }
     if (collector != nullptr) {
       collector->live().add_edges_scanned(scanned);
+      collector->live().add_edges_probed(scanned);
       collector->live().add_updates(stage.emitted, stage.sieved);
     }
-    return {scanned, stage.emitted, stage.sieved};
+    return {scanned, stage.emitted, stage.sieved, scanned};
   }
 
   const std::uint64_t chunk_records = std::max<std::uint64_t>(
@@ -435,14 +441,15 @@ ScatterResult scatter_partition(
       sieved.fetch_add(stage.sieved, std::memory_order_relaxed);
       if (collector != nullptr) {
         collector->live().add_edges_scanned(count);
+        collector->live().add_edges_probed(count);
         collector->live().add_updates(stage.emitted, stage.sieved);
       }
     }));
   }
   join_all(chunks);
-  return {scanned.load(std::memory_order_relaxed),
-          emitted.load(std::memory_order_relaxed),
-          sieved.load(std::memory_order_relaxed)};
+  const std::uint64_t total = scanned.load(std::memory_order_relaxed);
+  return {total, emitted.load(std::memory_order_relaxed),
+          sieved.load(std::memory_order_relaxed), total};
 }
 
 /// scatter_partition over an in-memory edge span — core's path for stay
@@ -482,9 +489,10 @@ ScatterResult scatter_span(
     }
     if (collector != nullptr) {
       collector->live().add_edges_scanned(num_records);
+      collector->live().add_edges_probed(num_records);
       collector->live().add_updates(stage.emitted, stage.sieved);
     }
-    return {num_records, stage.emitted, stage.sieved};
+    return {num_records, stage.emitted, stage.sieved, num_records};
   }
 
   const std::uint64_t num_chunks =
@@ -524,13 +532,181 @@ ScatterResult scatter_span(
       sieved.fetch_add(stage.sieved, std::memory_order_relaxed);
       if (collector != nullptr) {
         collector->live().add_edges_scanned(count);
+        collector->live().add_edges_probed(count);
         collector->live().add_updates(stage.emitted, stage.sieved);
       }
     }));
   }
   join_all(chunks);
   return {num_records, emitted.load(std::memory_order_relaxed),
-          sieved.load(std::memory_order_relaxed)};
+          sieved.load(std::memory_order_relaxed), num_records};
+}
+
+/// One partition's bottom-up pull: scans partition q's TRANSPOSED
+/// (in-edge, dst-sorted) file and lets still-unvisited destinations
+/// probe the frontier through program.pull. Because the file is sorted
+/// by destination, a vertex's in-edges form one contiguous run; the
+/// first successful pull claims the vertex and the rest of its run is
+/// skipped without touching program state — `probed` counts only the
+/// edges that got as far as the bitmap probes, which is where the
+/// direction optimisation's savings live.
+///
+/// Determinism contract, mirroring scatter_partition: the run-tracking
+/// state (current destination + claimed flag) resets at every window
+/// boundary — a serial reader batch or a parallel chunk, both exactly
+/// `reader.buffer_bytes / sizeof(Edge)` records — so a run straddling a
+/// boundary may emit one extra update per boundary. That duplicate is
+/// exact (PullCapable requires all same-destination same-round pull
+/// outputs byte-identical and the gather idempotent) and deterministic
+/// (fixed window size), so update files stay byte-identical at every
+/// thread count. The staging sieve stays off here: the claimed flag
+/// already dedupes within a window.
+///
+/// Only instantiated for PullCapable programs (core's engine gates the
+/// call behind `if constexpr`). No TrimSink: bottom-up rounds read the
+/// transposed view, so there is nothing to learn about the forward
+/// files' dead edges.
+template <graph::GraphProgram P>
+  requires graph::PullCapable<P>
+ScatterResult pull_partition(
+    const ExecContext& exec, io::Device& input_dev,
+    const std::string& input_name, std::uint64_t num_records,
+    const graph::PartitionLayout& layout, std::uint32_t partition,
+    const AtomicBitmap& active, const AtomicBitmap& visited, const P& program,
+    std::uint32_t round, const io::ReaderOptions& reader,
+    UpdateFanout<typename P::Update>& fanout,
+    metrics::Collector* collector = nullptr) {
+  const graph::VertexId range_begin = layout.begin(partition);
+  const graph::VertexId range_end = layout.end(partition);
+  // Run-tracking state, one per window: reset per serial batch and per
+  // parallel chunk (the same record count), never mid-window.
+  struct RunState {
+    graph::VertexId last_dst = 0;
+    bool have_run = false;
+    bool claimed = false;
+  };
+  // One span's pull loop. `stage` buffers the emitted updates (all
+  // owned by `partition` itself — pull targets its own vertex range);
+  // `probed` counts edges whose run was still unclaimed.
+  auto process_span = [&](std::span<const graph::Edge> window, RunState& run,
+                          ScatterStage<P>& stage, std::uint64_t& probed) {
+    auto& [last_dst, have_run, claimed] = run;
+    for (const graph::Edge& e : window) {
+      FB_CHECK_MSG(e.dst >= range_begin && e.dst < range_end,
+                   input_name << " holds edge to " << e.dst
+                              << " outside partition " << partition);
+      if (!have_run || e.dst != last_dst) {
+        FB_CHECK_MSG(!have_run || e.dst > last_dst,
+                     input_name << " is not sorted by destination at "
+                                << e.dst);
+        have_run = true;
+        last_dst = e.dst;
+        claimed = visited.test(e.dst);
+      }
+      if (claimed) continue;
+      ++probed;
+      if (!active.test(e.src)) continue;
+      typename P::Update u;
+      if (program.pull(e, round, u)) {
+        stage.stage(u);
+        claimed = true;
+      }
+    }
+  };
+
+  if (!exec.parallel()) {
+    io::ReaderOptions opts = reader;
+    opts.offset = 0;  // transposed files are headerless
+    auto edges =
+        io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
+    ScatterStage<P> stage(program, layout, /*sieve=*/false);
+    std::uint64_t scanned = 0;
+    std::uint64_t probed = 0;
+    for (auto batch = edges->next_batch(); !batch.empty();
+         batch = edges->next_batch()) {
+      scanned += batch.size();
+      RunState run;
+      process_span(batch, run, stage, probed);
+      {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
+        stage.flush_serial(fanout);
+      }
+    }
+    if (collector != nullptr) {
+      collector->live().add_edges_scanned(scanned);
+      collector->live().add_edges_probed(probed);
+      collector->live().add_updates(stage.emitted, 0);
+    }
+    return {scanned, stage.emitted, 0, probed};
+  }
+
+  const std::uint64_t chunk_records = std::max<std::uint64_t>(
+      1, reader.buffer_bytes / sizeof(graph::Edge));
+  const std::uint64_t num_chunks =
+      num_records == 0 ? 0 : (num_records + chunk_records - 1) / chunk_records;
+  OrderedGate gate;
+  std::atomic<std::uint64_t> scanned{0};
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> probed_total{0};
+  std::vector<std::future<void>> chunks;
+  chunks.reserve(num_chunks);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    chunks.push_back(exec.pool->submit([&, c] {
+      const std::uint64_t first = c * chunk_records;
+      const std::uint64_t count =
+          std::min(chunk_records, num_records - first);
+      ScatterStage<P> stage(program, layout, /*sieve=*/false);
+      std::uint64_t probed = 0;
+      RunState run;
+      try {
+        io::ReaderOptions opts = reader;
+        opts.mode = io::ReaderMode::kPlain;
+        opts.offset = first * sizeof(graph::Edge);
+        opts.buffer_bytes =
+            static_cast<std::size_t>(count * sizeof(graph::Edge));
+        auto edges =
+            io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
+        std::uint64_t remaining = count;
+        while (remaining > 0) {
+          auto batch = edges->next_batch();
+          FB_CHECK_MSG(!batch.empty(),
+                       input_name << " ends inside chunk " << c << " ("
+                                  << remaining << " records short)");
+          const std::size_t take = static_cast<std::size_t>(
+              std::min<std::uint64_t>(batch.size(), remaining));
+          process_span(batch.subspan(0, take), run, stage, probed);
+          remaining -= take;
+        }
+      } catch (...) {
+        gate.wait_turn(c);
+        gate.complete(c);
+        throw;
+      }
+      gate.wait_turn(c);
+      try {
+        metrics::ScopedPhase flush_timer(collector,
+                                         metrics::Phase::kShuffleFlush);
+        stage.flush_locked(fanout);
+      } catch (...) {
+        gate.complete(c);
+        throw;
+      }
+      gate.complete(c);
+      scanned.fetch_add(count, std::memory_order_relaxed);
+      emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
+      probed_total.fetch_add(probed, std::memory_order_relaxed);
+      if (collector != nullptr) {
+        collector->live().add_edges_scanned(count);
+        collector->live().add_edges_probed(probed);
+        collector->live().add_updates(stage.emitted, 0);
+      }
+    }));
+  }
+  join_all(chunks);
+  return {scanned.load(std::memory_order_relaxed),
+          emitted.load(std::memory_order_relaxed), 0,
+          probed_total.load(std::memory_order_relaxed)};
 }
 
 /// Gather (+ apply): partitions with no pending updates keep their

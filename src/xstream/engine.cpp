@@ -6,24 +6,13 @@
 namespace fbfs::xstream {
 
 EngineOptions engine_options_from_config(const Config& config) {
-  EngineOptions opts;
-  opts.reader = io::reader_options_from_config(config);
-  opts.write_buffer_bytes = static_cast<std::size_t>(
-      config.get_bytes_or("xstream.write_buffer", opts.write_buffer_bytes));
-  opts.max_iterations = static_cast<std::uint32_t>(
-      config.get_u64_or("xstream.max_iterations", opts.max_iterations));
-  opts.num_threads = config.get_threads_or("engine.num_threads", 1);
-  opts.update_codec = io::codec::parse_policy(config.get_enum_or(
-      "updates.codec", {"auto", "raw", "bitmap", "varint"},
-      io::codec::to_string(opts.update_codec)));
-  opts.sieve_updates = config.get_bool_or("updates.sieve", opts.sieve_updates);
-  return opts;
+  return engine::options_from_config(config, engine::Kind::kXstream);
 }
 
 std::uint32_t partition_count_from_config(const Config& config,
                                           std::uint32_t fallback) {
-  return static_cast<std::uint32_t>(
-      config.get_u64_or("xstream.partition_count", fallback));
+  return engine::partition_count_from_config(config, engine::Kind::kXstream,
+                                             fallback);
 }
 
 std::string state_file_name(const graph::PartitionedGraph& pg,

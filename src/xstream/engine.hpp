@@ -44,6 +44,7 @@
 #include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "engine/types.hpp"
 #include "graph/partitioner.hpp"
 #include "graph/program.hpp"
 #include "metrics/collector.hpp"
@@ -55,58 +56,25 @@
 
 namespace fbfs::xstream {
 
-struct EngineOptions {
-  /// Edge, update, and state streams all honour this mode/buffer.
-  io::ReaderOptions reader;
-  /// Split across the P update writers during scatter; whole for the
-  /// state write-back.
-  std::size_t write_buffer_bytes = 1 << 20;
-  std::uint32_t max_iterations = 1'000'000;
-  /// On-disk format policy for the per-partition update files
-  /// (storage/codec.hpp): raw streams records as before; bitmap /
-  /// varint / auto buffer each partition's updates and encode at the
-  /// end of the scatter phase. The duplicate-collapsing bitmap format
-  /// only ever applies to idempotent-gather programs; forced formats
-  /// degrade to raw when ineligible, so any policy is safe for any
-  /// program.
-  io::codec::Policy update_codec = io::codec::Policy::kRaw;
-  /// Drop dominated same-destination updates at the scatter staging
-  /// buffers, before they reach the shuffle writers. Exact for
-  /// SieveCapable programs (min-fold gathers); ignored for the rest.
-  bool sieve_updates = false;
-  /// Leave the final state files (and the last update files) on their
-  /// devices instead of removing them after the run.
-  bool keep_files = false;
-  /// Worker threads for the scatter/gather phases. 1 = the serial
-  /// engine (no pool); 0 = one per hardware thread. States, outputs,
-  /// update files, and stay files are bit-identical at every count
-  /// (chunk-ordered hand-off; see xstream/detail.hpp).
-  std::uint32_t num_threads = 1;
-  /// Optional observability hook (not owned). Null runs the engine
-  /// exactly as before — no allocation, no clock reads, no extra
-  /// atomics — and collection never changes results or on-device bytes
-  /// either way (see metrics/collector.hpp).
-  metrics::Collector* collector = nullptr;
-};
-
-/// Reads `io.reader` / `io.reader_buffer` (reader_factory),
-/// `xstream.write_buffer` (byte size), `xstream.max_iterations`,
-/// `engine.num_threads` (0 = hardware concurrency; shared key with
-/// core::run), and the shared update-stream keys `updates.codec`
-/// (auto | raw | bitmap | varint) and `updates.sieve` (bool).
-EngineOptions engine_options_from_config(const Config& config);
-
-/// Reads `xstream.partition_count`, falling back to `fallback`.
-std::uint32_t partition_count_from_config(const Config& config,
-                                          std::uint32_t fallback);
+/// The unified engine surface (engine/types.hpp — shared-key precedence
+/// is documented there, once). This engine ignores the core-only
+/// trim/direction fields; the trim/direction counters of its results
+/// stay default-zero.
+using EngineOptions = engine::Options;
 
 template <graph::GraphProgram P>
-struct RunResult {
-  std::vector<typename P::State> states;  // all vertices, in id order
-  std::uint32_t iterations = 0;
-  std::uint64_t updates_emitted = 0;
-  std::vector<IterationStats> per_iteration;
-};
+using RunResult = engine::RunResult<P>;
+
+/// engine::options_from_config(config, Kind::kXstream): `io.reader` /
+/// `io.reader_buffer`, `xstream.write_buffer` > `engine.write_buffer`,
+/// `xstream.max_iterations` > `engine.max_iterations`,
+/// `engine.num_threads`, `updates.codec`, `updates.sieve`.
+EngineOptions engine_options_from_config(const Config& config);
+
+/// Reads `xstream.partition_count` > `engine.partition_count` >
+/// `fallback`.
+std::uint32_t partition_count_from_config(const Config& config,
+                                          std::uint32_t fallback);
 
 template <graph::GraphProgram P>
 RunResult<P> run(const graph::PartitionedGraph& pg,
@@ -174,6 +142,8 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
                      pg.partition_file(p)
                          << " scanned " << scattered.scanned
                          << " edges, expected " << pg.edges_per_partition[p]);
+        stats.edges_scanned += scattered.scanned;
+        stats.edges_probed += scattered.probed;
         stats.updates_sieved += scattered.sieved;
       }
       {

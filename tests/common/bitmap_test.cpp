@@ -36,6 +36,35 @@ TEST(AtomicBitmap, SetTestClear) {
   EXPECT_FALSE(bm.any());
 }
 
+// The bottom-up direction's "partition fully visited?" probe, checked
+// against a bit-by-bit scan over the same mask-sensitive boundaries as
+// any_in_range below.
+TEST(AtomicBitmap, AllInRangeMatchesBitwiseScan) {
+  AtomicBitmap full(200);
+  for (std::uint64_t i = 0; i < 200; ++i) full.set(i);
+  EXPECT_TRUE(full.all_in_range(0, 200));
+  EXPECT_TRUE(full.all_in_range(0, 0));    // empty ranges are vacuously
+  EXPECT_TRUE(full.all_in_range(200, 200));  // full
+
+  for (const std::uint64_t hole :
+       {0ull, 63ull, 64ull, 127ull, 128ull, 199ull}) {
+    AtomicBitmap bm(200);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      if (i != hole) bm.set(i);
+    }
+    for (std::uint64_t begin = 0; begin <= 200; ++begin) {
+      for (const std::uint64_t end :
+           {begin, begin + 1, begin + 63, begin + 64, begin + 65,
+            std::uint64_t{200}}) {
+        if (end < begin || end > 200) continue;
+        const bool want = hole < begin || hole >= end;
+        ASSERT_EQ(bm.all_in_range(begin, end), want)
+            << "hole=" << hole << " [" << begin << "," << end << ")";
+      }
+    }
+  }
+}
+
 TEST(AtomicBitmap, TestAndSetReturnsPrevious) {
   AtomicBitmap bm(10);
   EXPECT_FALSE(bm.test_and_set(3));

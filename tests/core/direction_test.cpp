@@ -1,0 +1,303 @@
+// The direction-strategy suite (ROADMAP item 4): the cost model is a
+// pure function pinned against hand-computed byte counts, and the
+// engine-level matrix direction x threads x trim must stay BIT-IDENTICAL
+// to the in-memory reference. Bottom-up runs may legitimately finish one
+// counted round earlier than the reference: the reference's final round
+// emits updates to already-visited neighbours (a counted round that
+// activates nobody), while bottom-up has nobody left to probe and emits
+// nothing (an uncounted round). States must still match bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/temp_dir.hpp"
+#include "core/direction.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "inmem/engine.hpp"
+
+namespace fbfs {
+namespace {
+
+using core::DirectionCosts;
+using core::DirectionInputs;
+using engine::Direction;
+using graph::BfsProgram;
+using graph::GraphMeta;
+using graph::VertexId;
+using graph::WccProgram;
+
+// ------------------------------------------------------- cost model
+
+DirectionInputs synthetic_inputs(double frontier_fraction) {
+  // A fabricated mid-traversal snapshot: every partition still has work
+  // in both modes, half the graph unvisited.
+  DirectionInputs in;
+  in.num_vertices = 1000;
+  in.total_edges = 16000;
+  in.frontier = static_cast<std::uint64_t>(frontier_fraction * 1000);
+  in.unvisited = 500;
+  in.topdown_scan_edges = 16000;
+  in.bottomup_scan_edges = 16000;
+  in.edge_bytes = 8;
+  in.update_bytes = 8;
+  return in;
+}
+
+TEST(DirectionCostModel, CostsMatchTheModelledFormula) {
+  const DirectionInputs in = synthetic_inputs(0.25);
+  const DirectionCosts costs = core::model_direction_costs(in);
+  // topdown: scan every input edge once, then write+read the update
+  // stream the frontier fans out (frontier_fraction x total edges).
+  EXPECT_DOUBLE_EQ(costs.frontier_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(costs.topdown_bytes, 16000.0 * 8 + 0.25 * 16000 * 16);
+  // bottomup: scan the in-edge files, at most one update per unvisited
+  // vertex through the same write+read round trip.
+  EXPECT_DOUBLE_EQ(costs.bottomup_bytes, 16000.0 * 8 + 500.0 * 16);
+}
+
+TEST(DirectionCostModel, ForcedModesPassThrough) {
+  const DirectionInputs in = synthetic_inputs(0.5);
+  EXPECT_EQ(core::decide_direction(Direction::kTopDown, in, 1.0, 0.1),
+            Direction::kTopDown);
+  EXPECT_EQ(core::decide_direction(Direction::kBottomUp, in, 1.0, 0.1),
+            Direction::kBottomUp);
+  // Forced calls still report both costs, so stats stay comparable.
+  DirectionCosts costs;
+  core::decide_direction(Direction::kTopDown, in, 1.0, 0.1, &costs);
+  EXPECT_GT(costs.topdown_bytes, 0.0);
+  EXPECT_GT(costs.bottomup_bytes, 0.0);
+}
+
+TEST(DirectionCostModel, SyntheticFrontierScheduleFlipsExactlyMidRun) {
+  // With the synthetic snapshot above, modelled bytes favour bottom-up
+  // for any frontier fraction above 1/32 — so the beta = 0.1 growth
+  // gate is what keeps the sliver rounds top-down, and the byte
+  // comparison is what flips the bulky ones.
+  const struct {
+    double fraction;
+    Direction want;
+  } schedule[] = {
+      {0.001, Direction::kTopDown},  // sliver: beta gate
+      {0.05, Direction::kTopDown},   // bytes favour bottom-up; beta says no
+      {0.25, Direction::kBottomUp},  // bulky frontier: flip
+      {0.45, Direction::kBottomUp},
+      {0.08, Direction::kTopDown},  // shrinking again: back under beta
+      {0.003, Direction::kTopDown},
+  };
+  for (const auto& round : schedule) {
+    DirectionCosts costs;
+    EXPECT_EQ(core::decide_direction(Direction::kAuto,
+                                     synthetic_inputs(round.fraction), 1.0,
+                                     0.1, &costs),
+              round.want)
+        << "frontier fraction " << round.fraction;
+    EXPECT_DOUBLE_EQ(costs.frontier_fraction, round.fraction);
+  }
+}
+
+TEST(DirectionCostModel, AlphaScalesTheFlipThreshold) {
+  // At 0.25 frontier, topdown ~= 192000 bytes vs bottomup ~= 136000:
+  // a ratio of ~1.41. alpha above that must refuse the flip.
+  const DirectionInputs in = synthetic_inputs(0.25);
+  EXPECT_EQ(core::decide_direction(Direction::kAuto, in, 1.0, 0.1),
+            Direction::kBottomUp);
+  EXPECT_EQ(core::decide_direction(Direction::kAuto, in, 2.0, 0.1),
+            Direction::kTopDown);
+}
+
+// ------------------------------------------------ engine equivalence
+
+GraphMeta materialize(io::Device& dev, const std::string& name,
+                      const graph::ChunkedEdgeSource& source) {
+  return graph::write_generated(
+      dev, name, source.num_vertices(), source.seed(), source.undirected(),
+      [&](const graph::EdgeSink& sink) { source.generate(sink); });
+}
+
+GraphMeta rmat_meta(io::Device& dev) {
+  return materialize(dev, "rmat",
+                     graph::RmatSource({.scale = 9, .edge_factor = 8,
+                                        .seed = 7}));
+}
+
+GraphMeta er_meta(io::Device& dev) {
+  return materialize(dev, "er",
+                     graph::ErdosRenyiSource({.num_vertices = 1000,
+                                              .num_edges = 8000, .seed = 11}));
+}
+
+GraphMeta grid_meta(io::Device& dev) {
+  return materialize(dev, "grid",
+                     graph::Grid2dSource({.width = 24, .height = 24}));
+}
+
+constexpr Direction kDirections[] = {Direction::kTopDown,
+                                     Direction::kBottomUp, Direction::kAuto};
+
+void expect_direction_matrix(io::Device& dev, const GraphMeta& meta,
+                             const BfsProgram& program) {
+  const auto reference = inmem::run_graph(dev, meta, program, {});
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const graph::PartitionedGraph pg = graph::partition_edge_list(plan, meta, 4);
+  for (const Direction direction : kDirections) {
+    for (const bool trim : {false, true}) {
+      for (const std::uint32_t threads : {1u, 4u}) {
+        SCOPED_TRACE(std::string("direction=") + engine::to_string(direction) +
+                     ", trim=" + (trim ? "on" : "off") + ", T=" +
+                     std::to_string(threads) + " on " + meta.name);
+        core::EngineOptions options;
+        options.trim = trim;
+        options.num_threads = threads;
+        options.direction = direction;
+        const auto streamed = core::run(pg, plan, program, options);
+
+        // States are the invariant: bit-identical, every cell.
+        ASSERT_EQ(streamed.states.size(), reference.states.size());
+        ASSERT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
+                              streamed.states.size() *
+                                  sizeof(BfsProgram::State)),
+                  0);
+        if (direction == Direction::kTopDown) {
+          ASSERT_EQ(streamed.iterations, reference.iterations);
+          ASSERT_EQ(streamed.updates_emitted, reference.updates_emitted);
+          ASSERT_EQ(streamed.bottomup_rounds, 0u);
+        } else {
+          // Bottom-up may skip the reference's no-activation final
+          // round (see the file comment) and emits at most one update
+          // per claimed vertex, never more than the scatter fan-out.
+          ASSERT_GE(streamed.iterations + 1, reference.iterations);
+          ASSERT_LE(streamed.iterations, reference.iterations);
+          ASSERT_LE(streamed.updates_emitted, reference.updates_emitted);
+        }
+        if (direction == Direction::kBottomUp) {
+          ASSERT_EQ(streamed.bottomup_rounds, streamed.iterations);
+        }
+      }
+    }
+  }
+}
+
+TEST(DirectionEquivalence, BfsMatrixOnRmat) {
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_direction_matrix(dev, rmat_meta(dev), BfsProgram{.root = 0});
+}
+
+TEST(DirectionEquivalence, BfsMatrixOnErdosRenyi) {
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_direction_matrix(dev, er_meta(dev), BfsProgram{.root = 3});
+}
+
+TEST(DirectionEquivalence, BfsMatrixOnGrid) {
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  expect_direction_matrix(dev, grid_meta(dev), BfsProgram{.root = 0});
+}
+
+TEST(DirectionEquivalence, AutoReducesWorkOnRmat) {
+  // The acceptance-criteria shape at test scale: on a low-diameter
+  // R-MAT graph, auto must actually flip mid-traversal and come out
+  // ahead of pure top-down on both probes and update records.
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = rmat_meta(dev);
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const graph::PartitionedGraph pg = graph::partition_edge_list(plan, meta, 4);
+
+  core::EngineOptions options;
+  const auto topdown = core::run(pg, plan, BfsProgram{}, options);
+  options.direction = Direction::kAuto;
+  const auto automatic = core::run(pg, plan, BfsProgram{}, options);
+
+  ASSERT_EQ(std::memcmp(automatic.states.data(), topdown.states.data(),
+                        topdown.states.size() * sizeof(BfsProgram::State)),
+            0);
+  EXPECT_GT(automatic.bottomup_rounds, 0u);
+  std::uint64_t topdown_probed = 0, auto_probed = 0;
+  for (const auto& s : topdown.per_iteration) topdown_probed += s.edges_probed;
+  for (const auto& s : automatic.per_iteration) auto_probed += s.edges_probed;
+  EXPECT_LT(auto_probed, topdown_probed);
+  EXPECT_LT(automatic.updates_emitted, topdown.updates_emitted);
+}
+
+TEST(DirectionEquivalence, AutoNeverFlipsOnHighDiameterGrid) {
+  // The 24x24 lattice's frontier never reaches ~4.2% of the vertices,
+  // far under beta = 0.1: the model must keep every round top-down and
+  // the run must be indistinguishable from a forced top-down one.
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = grid_meta(dev);
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const graph::PartitionedGraph pg = graph::partition_edge_list(plan, meta, 4);
+
+  core::EngineOptions options;
+  const auto topdown = core::run(pg, plan, BfsProgram{}, options);
+  options.direction = Direction::kAuto;
+  const auto automatic = core::run(pg, plan, BfsProgram{}, options);
+
+  EXPECT_EQ(automatic.bottomup_rounds, 0u);
+  EXPECT_EQ(automatic.iterations, topdown.iterations);
+  EXPECT_EQ(automatic.updates_emitted, topdown.updates_emitted);
+  ASSERT_EQ(std::memcmp(automatic.states.data(), topdown.states.data(),
+                        topdown.states.size() * sizeof(BfsProgram::State)),
+            0);
+}
+
+TEST(DirectionEquivalence, NonPullProgramDegradesToTopDown) {
+  // WCC has no pull hook: a forced bottom-up run must silently run the
+  // plain top-down loop and still match the reference exactly.
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta sym =
+      graph::symmetrize_edge_list(dev, er_meta(dev), "er_sym");
+  const auto reference = inmem::run_graph(dev, sym, WccProgram{}, {});
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const graph::PartitionedGraph pg = graph::partition_edge_list(plan, sym, 4);
+
+  core::EngineOptions options;
+  options.direction = Direction::kBottomUp;
+  const auto streamed = core::run(pg, plan, WccProgram{}, options);
+  EXPECT_EQ(streamed.bottomup_rounds, 0u);
+  EXPECT_EQ(streamed.iterations, reference.iterations);
+  ASSERT_EQ(std::memcmp(streamed.states.data(), reference.states.data(),
+                        streamed.states.size() * sizeof(WccProgram::State)),
+            0);
+}
+
+TEST(DirectionEquivalence, TrimTotalsReconcileWithIterationRows) {
+  // The run-level trim counters must equal the per-iteration rows plus
+  // the end-of-run epilogue row — on the zero-grace config too, where
+  // cancellations dominate. (core::run CHECKs this internally; this
+  // test keeps the contract visible from the outside.)
+  TempDir dir("direction");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const GraphMeta meta = rmat_meta(dev);
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const graph::PartitionedGraph pg = graph::partition_edge_list(plan, meta, 4);
+  for (const double grace : {5.0, 0.0}) {
+    core::EngineOptions options;
+    options.grace_timeout_seconds = grace;
+    options.direction = Direction::kAuto;
+    const auto result = core::run(pg, plan, BfsProgram{}, options);
+    EXPECT_GT(result.trims_started, 0u);
+    metrics::IterationStats sum = result.epilogue;
+    for (const auto& s : result.per_iteration) {
+      sum.trims_started += s.trims_started;
+      sum.trims_committed += s.trims_committed;
+      sum.trims_cancelled += s.trims_cancelled;
+      sum.trims_failed += s.trims_failed;
+      sum.stay_edges_written += s.stay_edges_written;
+    }
+    EXPECT_EQ(sum.trims_started, result.trims_started);
+    EXPECT_EQ(sum.trims_committed, result.trims_committed);
+    EXPECT_EQ(sum.trims_cancelled, result.trims_cancelled);
+    EXPECT_EQ(sum.trims_failed, result.trims_failed);
+    EXPECT_EQ(sum.stay_edges_written, result.stay_edges_written);
+  }
+}
+
+}  // namespace
+}  // namespace fbfs

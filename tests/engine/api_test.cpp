@@ -1,0 +1,104 @@
+// The unified engine surface (engine/types.hpp + engine/api.hpp): name
+// round-trips, the shared-key precedence the header documents, and the
+// Kind dispatch helper producing bit-identical states from all three
+// engines.
+#include "engine/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/temp_dir.hpp"
+#include "graph/generators.hpp"
+
+namespace fbfs {
+namespace {
+
+using engine::Direction;
+using engine::Kind;
+using graph::BfsProgram;
+using graph::GraphMeta;
+
+TEST(EngineNames, KindRoundTripsAndAcceptsTheFastbfsAlias) {
+  for (const Kind kind : {Kind::kInmem, Kind::kXstream, Kind::kCore}) {
+    EXPECT_EQ(engine::parse_kind(engine::to_string(kind)), kind);
+  }
+  EXPECT_EQ(engine::parse_kind("fastbfs"), Kind::kCore);
+}
+
+TEST(EngineNames, DirectionRoundTrips) {
+  for (const Direction d :
+       {Direction::kTopDown, Direction::kBottomUp, Direction::kAuto}) {
+    EXPECT_EQ(engine::parse_direction(engine::to_string(d)), d);
+  }
+}
+
+TEST(EngineOptions, SharedKeysResolveUnderDocumentedPrecedence) {
+  // <engine>.key beats engine.key beats the built-in default.
+  const Config config = Config::parse_string(
+      "engine.write_buffer = 128K\n"
+      "xstream.write_buffer = 64K\n"
+      "engine.max_iterations = 9\n"
+      "engine.partition_count = 3\n"
+      "core.partition_count = 6\n");
+  EXPECT_EQ(engine::options_from_config(config, Kind::kXstream)
+                .write_buffer_bytes,
+            64u * 1024);
+  EXPECT_EQ(engine::options_from_config(config, Kind::kCore)
+                .write_buffer_bytes,
+            128u * 1024);  // no core.write_buffer: generic engine.* applies
+  EXPECT_EQ(engine::options_from_config(config, Kind::kInmem).max_iterations,
+            9u);
+  EXPECT_EQ(engine::partition_count_from_config(config, Kind::kCore, 2), 6u);
+  EXPECT_EQ(engine::partition_count_from_config(config, Kind::kXstream, 2),
+            3u);
+  // inmem has no partitions: always the caller's fallback.
+  EXPECT_EQ(engine::partition_count_from_config(config, Kind::kInmem, 2), 2u);
+}
+
+TEST(EngineOptions, DirectionKeysParseForCoreOnly) {
+  const Config config = Config::parse_string(
+      "core.direction = auto\n"
+      "core.direction_alpha = 1.5\n"
+      "core.direction_beta = 0.05\n");
+  const engine::Options core = engine::options_from_config(config, Kind::kCore);
+  EXPECT_EQ(core.direction, Direction::kAuto);
+  EXPECT_DOUBLE_EQ(core.direction_alpha, 1.5);
+  EXPECT_DOUBLE_EQ(core.direction_beta, 0.05);
+  // Defaults: forced top-down, Beamer-style gates.
+  const engine::Options defaults = engine::options_from_config({}, Kind::kCore);
+  EXPECT_EQ(defaults.direction, Direction::kTopDown);
+  EXPECT_DOUBLE_EQ(defaults.direction_alpha, 1.0);
+  EXPECT_DOUBLE_EQ(defaults.direction_beta, 0.1);
+  // core.* keys are never read for the other kinds.
+  EXPECT_EQ(engine::options_from_config(config, Kind::kXstream).direction,
+            Direction::kTopDown);
+}
+
+TEST(EngineDispatch, AllThreeKindsProduceBitIdenticalStates) {
+  TempDir dir("engine_api");
+  io::Device dev(dir.str(), io::DeviceModel::unthrottled());
+  const graph::ErdosRenyiSource source(
+      {.num_vertices = 500, .num_edges = 4000, .seed = 13});
+  const GraphMeta meta = graph::write_generated(
+      dev, "er", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const graph::EdgeSink& sink) { source.generate(sink); });
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const graph::PartitionedGraph pg = graph::partition_edge_list(plan, meta, 3);
+
+  const BfsProgram program{.root = 1};
+  const auto reference = engine::run(Kind::kInmem, pg, plan, program);
+  for (const Kind kind : {Kind::kXstream, Kind::kCore}) {
+    SCOPED_TRACE(engine::to_string(kind));
+    const auto result = engine::run(kind, pg, plan, program);
+    ASSERT_EQ(result.states.size(), reference.states.size());
+    ASSERT_EQ(result.iterations, reference.iterations);
+    ASSERT_EQ(std::memcmp(result.states.data(), reference.states.data(),
+                          result.states.size() * sizeof(BfsProgram::State)),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace fbfs

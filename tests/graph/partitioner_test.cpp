@@ -119,5 +119,75 @@ TEST(Partitioner, DegreeStatsMatchAHandComputedGraph)  {
   EXPECT_DOUBLE_EQ(stats.mean_degree, 4.0 / 5.0);
 }
 
+TEST(TransposedView, HoldsEveryEdgeDstSortedInItsOwnersFile) {
+  TempDir dir("partition");
+  io::Device dev = make_device(dir);
+  const ErdosRenyiSource source(
+      {.num_vertices = 2'000, .num_edges = 16'000, .seed = 5});
+  const GraphMeta meta = write_generated(
+      dev, "er", source.num_vertices(), source.seed(), source.undirected(),
+      [&](const EdgeSink& sink) { source.generate(sink); });
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const std::uint32_t P = 5;
+  const PartitionedGraph pg = partition_edge_list(plan, meta, P);
+  const TransposedView view = build_transposed_view(plan, pg);
+
+  std::uint64_t total = 0;
+  std::uint64_t checksum = 0;
+  for (std::uint32_t q = 0; q < P; ++q) {
+    auto f = dev.open(transposed_file(pg, q));
+    ASSERT_EQ(f->size(), view.in_edges_per_partition[q] * sizeof(Edge));
+    io::RecordReader<Edge> reader(*f, 1 << 16);
+    Edge e;
+    std::uint64_t count = 0;
+    VertexId last_dst = 0;
+    while (reader.next(e)) {
+      ASSERT_GE(e.dst, pg.layout.begin(q));  // ownership: dst in range
+      ASSERT_LT(e.dst, pg.layout.end(q));
+      ASSERT_GE(e.dst, last_dst);  // dst-sorted: in-edges form runs
+      last_dst = e.dst;
+      checksum += edge_digest(e);
+      ++count;
+    }
+    ASSERT_EQ(count, view.in_edges_per_partition[q]);
+    total += count;
+  }
+  // Union of the transposed files == the input, as a multiset.
+  EXPECT_EQ(total, meta.num_edges);
+  EXPECT_EQ(checksum, meta.checksum);
+}
+
+TEST(TransposedView, CacheHitsAndRejectsDamagedFiles) {
+  TempDir dir("partition");
+  io::Device dev = make_device(dir);
+  const GraphMeta meta = write_generated(
+      dev, "tiny", 6, 1, false, [](const EdgeSink& sink) {
+        sink({0, 5});
+        sink({5, 0});
+        sink({1, 3});
+        sink({4, 3});
+      });
+  const io::StoragePlan plan = io::StoragePlan::single(dev);
+  const PartitionedGraph pg = partition_edge_list(plan, meta, 2);
+  const TransposedView first = build_transposed_view(plan, pg);
+  ASSERT_TRUE(dev.exists(transposed_meta_file(pg)));
+  // Destinations {5, 0, 3, 3}; partition 0 owns vertices 0-2.
+  EXPECT_EQ(first.in_edges_per_partition,
+            (std::vector<std::uint64_t>{1, 3}));
+
+  // A second build is a cache load: same counts, no bytes rewritten.
+  const std::uint64_t written_before = dev.stats().bytes_written();
+  const TransposedView cached = build_transposed_view(plan, pg);
+  EXPECT_EQ(cached.in_edges_per_partition, first.in_edges_per_partition);
+  EXPECT_EQ(dev.stats().bytes_written(), written_before);
+
+  // Damage one transposed file: the sidecar no longer matches its size,
+  // so the next build must rebuild rather than trust the cache.
+  dev.remove(transposed_file(pg, 1));
+  const TransposedView rebuilt = build_transposed_view(plan, pg);
+  EXPECT_EQ(rebuilt.in_edges_per_partition, first.in_edges_per_partition);
+  EXPECT_TRUE(dev.exists(transposed_file(pg, 1)));
+}
+
 }  // namespace
 }  // namespace fbfs::graph
