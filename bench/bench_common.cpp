@@ -1,10 +1,12 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "common/check.hpp"
 #include "core/engine.hpp"
+#include "graph/multi_bfs.hpp"
 #include "inmem/engine.hpp"
 #include "storage/storage_plan.hpp"
 #include "xstream/engine.hpp"
@@ -32,6 +34,28 @@ Dataset make_dataset(const std::string& root, const std::string& name,
       });
   for (graph::VertexId v = 0; v < out_degree.size(); ++v) {
     if (out_degree[v] > out_degree[ds.bfs_root]) ds.bfs_root = v;
+  }
+  // Batch roots: top 64 distinct vertices by (out-degree desc, id asc),
+  // degree-0 vertices excluded (a rootless query converges in round 0
+  // and measures nothing). The first entry reproduces bfs_root's
+  // max-degree/smallest-id pick exactly.
+  {
+    std::vector<graph::VertexId> order(out_degree.size());
+    for (graph::VertexId v = 0; v < order.size(); ++v) order[v] = v;
+    std::sort(order.begin(), order.end(),
+              [&](graph::VertexId a, graph::VertexId b) {
+                if (out_degree[a] != out_degree[b]) {
+                  return out_degree[a] > out_degree[b];
+                }
+                return a < b;
+              });
+    for (const graph::VertexId v : order) {
+      if (out_degree[v] == 0) break;
+      ds.batch_roots.push_back(v);
+      if (ds.batch_roots.size() == graph::kMaxBatchQueries) break;
+    }
+    FB_CHECK_MSG(!ds.batch_roots.empty() && ds.batch_roots[0] == ds.bfs_root,
+                 "batch root order diverged from the bfs_root pick");
   }
   ds.pg = graph::partition_edge_list(edges, ds.meta, partitions);
   // Prebuild the transposed (in-edge) view here, unthrottled: building

@@ -34,6 +34,11 @@ struct Dataset {
   graph::GraphMeta meta;
   std::uint32_t partitions = 0;
   graph::VertexId bfs_root = 0;  // highest out-degree vertex
+  /// Deterministic multi-source batch roots: the top (up to) 64
+  /// DISTINCT vertices by out-degree, ties broken by smaller id, only
+  /// vertices with at least one out-edge. batch_roots[0] == bfs_root,
+  /// so single-query and batch benches traverse from the same anchor.
+  std::vector<graph::VertexId> batch_roots;
   std::string root;              // per-role device roots live under here
   std::vector<graph::BfsProgram::State> reference;  // inmem ground truth
   graph::PartitionedGraph pg;

@@ -56,6 +56,18 @@ struct DirectionInputs {
   std::uint64_t bottomup_scan_edges = 0;
   std::uint32_t edge_bytes = 0;
   std::uint32_t update_bytes = 0;
+  /// Batched (masked) traversals only — zero for single-query runs:
+  /// aggregate popcount of the round's frontier masks, and the number
+  /// of queries with any frontier bit left. When set, the beta growth
+  /// gate reads the MEAN per-query frontier share
+  /// (frontier_bits / (num_vertices x active_queries)) instead of the
+  /// vertex fraction — 64 sliver wavefronts summed over one batch look
+  /// vertex-dense without being dense for any single query, and the
+  /// gate exists to catch exactly that sliver shape. The byte terms
+  /// keep the vertex fraction: update RECORDS scale with frontier
+  /// vertices whatever their masks hold.
+  std::uint64_t frontier_bits = 0;
+  std::uint32_t active_queries = 0;
 };
 
 /// The modelled bytes behind a decision — surfaced into IterationStats
@@ -68,15 +80,23 @@ struct DirectionCosts {
 
 inline DirectionCosts model_direction_costs(const DirectionInputs& in) {
   DirectionCosts costs;
-  costs.frontier_fraction =
+  const double vertex_fraction =
       in.num_vertices == 0 ? 0.0
                            : static_cast<double>(in.frontier) /
                                  static_cast<double>(in.num_vertices);
+  // The gate's fraction: per-query mean for masked batches, the plain
+  // vertex fraction otherwise (see DirectionInputs::frontier_bits).
+  costs.frontier_fraction =
+      in.active_queries > 0 && in.num_vertices > 0
+          ? static_cast<double>(in.frontier_bits) /
+                (static_cast<double>(in.num_vertices) *
+                 static_cast<double>(in.active_queries))
+          : vertex_fraction;
   const double update_rw = 2.0 * static_cast<double>(in.update_bytes);
   costs.topdown_bytes =
       static_cast<double>(in.topdown_scan_edges) *
           static_cast<double>(in.edge_bytes) +
-      costs.frontier_fraction * static_cast<double>(in.total_edges) *
+      vertex_fraction * static_cast<double>(in.total_edges) *
           update_rw;
   costs.bottomup_bytes = static_cast<double>(in.bottomup_scan_edges) *
                              static_cast<double>(in.edge_bytes) +

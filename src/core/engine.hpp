@@ -33,13 +33,25 @@
 // past frontier, and an edge survives iff its source is neither active
 // nor retired — no peeking into program State.
 //
+// Masked programs (graph::MaskedProgram — MultiBfs, the batched
+// multi-source traversal) swap both engine-level bitmaps for the
+// MaskStateTracker's SATURATION set: a vertex every query has seen can
+// never gather anything new, so once it scatters the frontier it is
+// carrying, its out-edges are dead (trim deadness = saturated, NOT
+// has-been-active — an unsaturated vertex re-enters the frontier when
+// a later query reaches it) and bottom-up rounds treat it as claimed.
+// The direction model additionally sees the round's aggregate frontier
+// mask popcount, so the beta gate reads per-query density.
+//
 // Round accounting and stop rules are EXACTLY inmem::run's (change
 // both or neither); init/fan-out/gather/collect come verbatim from
 // xstream/detail.hpp.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -143,6 +155,11 @@ struct StayTrimSink {
   /// appends the whole stream at finish time, instead of streaming
   /// chunks through the async writer as they retire.
   bool buffered = false;
+  /// Masked programs: deadness is saturation alone (`retired` points at
+  /// the tracker's saturated set). An active-but-unsaturated source
+  /// must SURVIVE — a later query can put it back in the frontier —
+  /// where the single-query rule would kill it.
+  bool masked = false;
   const AtomicBitmap* retired = nullptr;
   io::AsyncWriter* writer = nullptr;
   io::AsyncWriter::StreamId id = 0;
@@ -155,7 +172,9 @@ struct StayTrimSink {
   void observe(const graph::Edge& e, bool src_active,
                ChunkState& chunk) const {
     if (!counting) return;
-    if (src_active || retired->test(e.src)) {
+    const bool dead =
+        masked ? retired->test(e.src) : (src_active || retired->test(e.src));
+    if (dead) {
       ++chunk.dead;
     } else if (collecting) {
       chunk.survivors.push_back(e);
@@ -205,18 +224,35 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   if (num_threads > 1) pool.emplace(num_threads);
   const ExecContext exec{pool ? &*pool : nullptr};
 
-  xd::init_partition_states(pg, plan, options.reader,
-                            options.write_buffer_bytes, program, active,
-                            exec);
+  // ---- masked-program state (batched multi-source traversal). The
+  // tracker mirrors every vertex's seen/frontier mask into flat arrays
+  // (refreshed by the init/gather observer hooks) and owns the
+  // saturation bitmap that replaces `retired` AND `visited` below.
+  constexpr bool masked = graph::MaskedProgram<P>;
+  [[maybe_unused]] std::uint32_t batch_width = 0;
+  std::optional<xd::MaskStateTracker<P>> tracker;
+  if constexpr (masked) {
+    batch_width = static_cast<std::uint32_t>(std::popcount(program.full_mask()));
+    tracker.emplace(program, n);
+    xd::init_partition_states(pg, plan, options.reader,
+                              options.write_buffer_bytes, program, active,
+                              exec, &*tracker);
+  } else {
+    xd::init_partition_states(pg, plan, options.reader,
+                              options.write_buffer_bytes, program, active,
+                              exec);
+  }
 
   // ---- trimming state. Only kTrimmable programs ever pay for any of
-  // this; for the rest the loop below is xstream::run's.
+  // this; for the rest the loop below is xstream::run's. Masked
+  // programs key deadness on the tracker's saturation set instead of a
+  // past-frontiers bitmap (see the header comment).
   const bool trim_capable = options.trim && P::kTrimmable;
   std::optional<io::AsyncWriter> writer;
   std::optional<AtomicBitmap> retired;
   if (trim_capable) {
     writer.emplace(options.stay_buffer_bytes, options.stay_pool_buffers);
-    retired.emplace(n);
+    if constexpr (!masked) retired.emplace(n);
   }
   std::vector<bool> input_on_stay(num_partitions, false);
   // Codec format of partition p's committed stay file (meaningful only
@@ -231,27 +267,37 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   std::vector<std::uint64_t> dead_seen(num_partitions, 0);
   std::vector<std::optional<detail::PendingTrim>> pending(num_partitions);
 
-  // ---- direction state (ROADMAP item 4). Only PullCapable programs
-  // can run bottom-up; for the rest any configured direction silently
-  // degrades to top-down and none of this is paid for. The transposed
-  // (in-edge) view builds once up front — or loads from its cache — on
-  // the plan's edge device; `visited` accumulates every frontier ever
-  // activated, which is exactly the claimed set the bottom-up probe and
-  // the cost model's `unvisited` term need.
+  // ---- direction state (ROADMAP item 4). Only PullCapable and masked
+  // programs can run bottom-up; for the rest any configured direction
+  // silently degrades to top-down and none of this is paid for. The
+  // transposed (in-edge) view builds once up front — or loads from its
+  // cache — on the plan's edge device. The bottom-up claimed set:
+  // `visited` (every frontier ever activated) for single-query pulls,
+  // the tracker's saturation bitmap for masked programs — in both
+  // cases, exactly the vertices a bottom-up probe can never gain
+  // anything for, which is also the cost model's `unvisited` term.
   constexpr bool pull_capable = graph::PullCapable<P>;
+  constexpr bool pull_ok = pull_capable || masked;
   const Direction configured =
-      pull_capable ? options.direction : Direction::kTopDown;
+      pull_ok ? options.direction : Direction::kTopDown;
   std::optional<AtomicBitmap> visited;
   graph::TransposedView transposed;
-  if constexpr (pull_capable) {
+  if constexpr (pull_ok) {
     if (configured != Direction::kTopDown) {
-      visited.emplace(n);
-      visited->or_with(active);
+      if constexpr (!masked) {
+        visited.emplace(n);
+        visited->or_with(active);
+      }
       graph::PartitionOptions topts;
       topts.reader = options.reader.mode;
       transposed = graph::build_transposed_view(plan, pg, topts);
     }
   }
+  // The bottom-up claimed set (null when direction state is off).
+  const AtomicBitmap* const claimed = [&]() -> const AtomicBitmap* {
+    if constexpr (masked) return &tracker->saturated;
+    return visited ? &*visited : nullptr;
+  }();
 
   metrics::Collector* const collector = options.collector;
 
@@ -306,27 +352,47 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
             ? 1.0
             : static_cast<double>(active.count_set()) / static_cast<double>(n);
 
+    // Masked programs: the round's aggregate mask shape — the direction
+    // model's per-query densities, the batch columns in the stats row,
+    // and the live per-query convergence counter (monotone: a query
+    // with no frontier bit anywhere can never regain one).
+    [[maybe_unused]] typename xd::MaskStateTracker<P>::RoundMasks round_masks;
+    if constexpr (masked) {
+      round_masks = tracker->round_masks(active);
+      stats.frontier_mask_bits = round_masks.frontier_bits;
+      stats.queries_active = static_cast<std::uint32_t>(
+          std::popcount(round_masks.active_mask));
+      if (collector != nullptr) {
+        collector->live().set_queries_converged(batch_width -
+                                                stats.queries_active);
+      }
+    }
+
     // Direction decision: model both modes' bytes from this round's
     // frontier and the partitions each mode would actually touch, then
     // decide (forced modes pass straight through). Both costs are
     // recorded in the round's stats either way, so an ablation can see
     // the margin the model acted on.
     Direction mode = Direction::kTopDown;
-    if constexpr (pull_capable) {
+    if constexpr (pull_ok) {
       if (configured != Direction::kTopDown) {
         DirectionInputs din;
         din.num_vertices = n;
         din.total_edges = pg.meta.num_edges;
         din.frontier = active.count_set();
-        din.unvisited = n - visited->count_set();
+        din.unvisited = n - claimed->count_set();
         din.edge_bytes = sizeof(graph::Edge);
         din.update_bytes = sizeof(Update);
+        if constexpr (masked) {
+          din.frontier_bits = round_masks.frontier_bits;
+          din.active_queries = stats.queries_active;
+        }
         for (std::uint32_t p = 0; p < num_partitions; ++p) {
           if (!options.selective || P::kScatterAllVertices ||
               active.any_in_range(layout.begin(p), layout.end(p))) {
             din.topdown_scan_edges += input_edges[p];
           }
-          if (!visited->all_in_range(layout.begin(p), layout.end(p))) {
+          if (!claimed->all_in_range(layout.begin(p), layout.end(p))) {
             din.bottomup_scan_edges += transposed.in_edges_per_partition[p];
           }
         }
@@ -345,16 +411,24 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
       auto fanout = xd::open_update_fanout<Update>(
           pg, plan, options.write_buffer_bytes, options.update_codec,
           graph::kIdempotentGatherV<P>);
-      if constexpr (pull_capable) {
+      if constexpr (pull_ok) {
         if (mode == Direction::kBottomUp) {
           // Bottom-up: scan the transposed files of partitions that
-          // still hold unvisited vertices and let those vertices probe
+          // still hold unclaimed vertices and let those vertices probe
           // the frontier. Pending trims of the FORWARD inputs stay
           // pending (nothing reads them this round, so their streams
           // just get more time), and no trim sink runs — the transposed
-          // view is never trimmed.
+          // view is never trimmed. Masked programs hand the pull the
+          // tracker's flat mask arrays; single-query pulls pass empty
+          // spans the pull never reads.
+          std::span<const std::uint64_t> frontier_masks;
+          std::span<const std::uint64_t> seen_masks;
+          if constexpr (masked) {
+            frontier_masks = tracker->frontier;
+            seen_masks = tracker->seen;
+          }
           for (std::uint32_t q = 0; q < num_partitions; ++q) {
-            if (visited->all_in_range(layout.begin(q), layout.end(q))) {
+            if (claimed->all_in_range(layout.begin(q), layout.end(q))) {
               ++stats.partitions_skipped;
               if (collector != nullptr) {
                 collector->live().add_partition_skipped();
@@ -369,17 +443,23 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
                                                metrics::Phase::kScatter);
             const xd::ScatterResult pulled = xd::pull_partition<P>(
                 exec, plan.edges(), graph::transposed_file(pg, q),
-                transposed.in_edges_per_partition[q], layout, q, active,
-                *visited, program, result.iterations, options.reader, fanout,
+                transposed.in_edges_per_partition[q],
+                std::span<const graph::TransposedBlock>(transposed.blocks[q]),
+                layout, q, active, *claimed, program, result.iterations,
+                options.reader, frontier_masks, seen_masks, fanout,
                 collector);
             FB_CHECK_MSG(
-                pulled.scanned == transposed.in_edges_per_partition[q],
+                pulled.scanned + pulled.skipped ==
+                    transposed.in_edges_per_partition[q],
                 "transposed partition " << q << " of " << pg.meta.name
-                                        << " holds " << pulled.scanned
+                                        << " covered " << pulled.scanned
+                                        << " + " << pulled.skipped
                                         << " edges, expected "
                                         << transposed.in_edges_per_partition[q]);
             stats.edges_scanned += pulled.scanned;
             stats.edges_probed += pulled.probed;
+            stats.edge_bytes_skipped +=
+                pulled.skipped * sizeof(graph::Edge);
           }
         }
       }
@@ -408,7 +488,14 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
         sink.counting = trim_capable;
         sink.collecting = trim_this_scan;
         sink.buffered = options.stay_codec != io::codec::Policy::kRaw;
-        if (trim_capable) sink.retired = &*retired;
+        sink.masked = masked;
+        if (trim_capable) {
+          if constexpr (masked) {
+            sink.retired = &tracker->saturated;
+          } else {
+            sink.retired = &*retired;
+          }
+        }
         if (trim_this_scan) {
           sink.id = writer->begin_staged(plan.stay(), stay_file_name(pg, p));
           sink.writer = &*writer;
@@ -533,15 +620,25 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
     next_active.reset();
     {
       Stopwatch gather_clock;
-      xd::gather_partitions(pg, plan, options.reader,
-                            options.write_buffer_bytes, program,
-                            pending_updates, next_active, exec, collector);
+      if constexpr (masked) {
+        xd::gather_partitions(pg, plan, options.reader,
+                              options.write_buffer_bytes, program,
+                              pending_updates, next_active, exec, collector,
+                              &*tracker);
+      } else {
+        xd::gather_partitions(pg, plan, options.reader,
+                              options.write_buffer_bytes, program,
+                              pending_updates, next_active, exec, collector);
+      }
       stats.gather_seconds = gather_clock.seconds();
     }
 
     // This round's frontier has scattered: those sources are dead for
-    // every future round of a trimmable program.
-    if (trim_capable) retired->or_with(active);
+    // every future round of a trimmable program. (Masked deadness is
+    // saturation, which the gather observer just refreshed.)
+    if constexpr (!masked) {
+      if (trim_capable) retired->or_with(active);
+    }
 
     ++result.iterations;
     std::swap(active, next_active);
@@ -558,6 +655,17 @@ RunResult<P> run(const graph::PartitionedGraph& pg,
   }
 
   // ---- settle the trims the run ended on, collect, tidy.
+  if constexpr (masked) {
+    // Final convergence: queries with no frontier left anywhere are
+    // done (a clean stop converges all of them; an iteration-cap stop
+    // reports the true residue).
+    if (collector != nullptr) {
+      const auto final_masks = tracker->round_masks(active);
+      collector->live().set_queries_converged(
+          batch_width -
+          static_cast<std::uint32_t>(std::popcount(final_masks.active_mask)));
+    }
+  }
   for (std::uint32_t p = 0; p < num_partitions; ++p) {
     resolve_pending(p, &result.epilogue);
   }

@@ -102,6 +102,12 @@ std::string transposed_file(const PartitionedGraph& pg, std::uint32_t q) {
          ".tpart" + std::to_string(q);
 }
 
+std::string transposed_index_file(const PartitionedGraph& pg,
+                                  std::uint32_t q) {
+  return pg.meta.name + ".P" + std::to_string(pg.layout.num_partitions()) +
+         ".tindex" + std::to_string(q);
+}
+
 std::string transposed_meta_file(const PartitionedGraph& pg) {
   return pg.meta.name + ".P" + std::to_string(pg.layout.num_partitions()) +
          ".tmeta";
@@ -109,8 +115,15 @@ std::string transposed_meta_file(const PartitionedGraph& pg) {
 
 namespace {
 
-/// A cache hit: the sidecar matches this graph + partition count and
-/// every transposed file is exactly the size the sidecar recorded.
+std::uint64_t transposed_block_count(std::uint64_t records) {
+  return (records + kTransposedBlockRecords - 1) / kTransposedBlockRecords;
+}
+
+/// A cache hit: the sidecar matches this graph + partition count AND
+/// the block granularity this build understands, and every transposed
+/// file and block index is exactly the size the sidecar implies.
+/// (Sidecars from before the block index lack `block_records`, so old
+/// caches rebuild once.)
 bool load_cached_transposed_view(io::Device& device,
                                  const PartitionedGraph& pg,
                                  TransposedView& view) {
@@ -119,7 +132,8 @@ bool load_cached_transposed_view(io::Device& device,
   const Config cfg = Config::parse_file(device.path(meta_name));
   if (cfg.get_u64_or("num_partitions", 0) != pg.layout.num_partitions() ||
       cfg.get_u64_or("num_edges", 0) != pg.meta.num_edges ||
-      cfg.get_u64_or("checksum", 0) != pg.meta.checksum) {
+      cfg.get_u64_or("checksum", 0) != pg.meta.checksum ||
+      cfg.get_u64_or("block_records", 0) != kTransposedBlockRecords) {
     return false;
   }
   std::vector<std::uint64_t> counts(pg.layout.num_partitions());
@@ -130,6 +144,21 @@ bool load_cached_transposed_view(io::Device& device,
         device.file_size(name) != counts[q] * sizeof(Edge)) {
       return false;
     }
+    const std::string index_name = transposed_index_file(pg, q);
+    if (!device.exists(index_name) ||
+        device.file_size(index_name) !=
+            transposed_block_count(counts[q]) * sizeof(TransposedBlock)) {
+      return false;
+    }
+  }
+  view.blocks.assign(pg.layout.num_partitions(), {});
+  for (std::uint32_t q = 0; q < counts.size(); ++q) {
+    view.blocks[q].resize(transposed_block_count(counts[q]));
+    if (view.blocks[q].empty()) continue;
+    auto file = device.open(transposed_index_file(pg, q), /*truncate=*/false);
+    const std::uint64_t bytes =
+        view.blocks[q].size() * sizeof(TransposedBlock);
+    FB_CHECK_EQ(file->read_at(0, view.blocks[q].data(), bytes), bytes);
   }
   view.in_edges_per_partition = std::move(counts);
   FB_LOG_DEBUG << "transposed view of " << pg.meta.name << " ("
@@ -198,6 +227,10 @@ TransposedView build_transposed_view(const io::StoragePlan& plan,
   // same-dst edges keep their pass-1 order and the output is a pure
   // function of the partition files). The dst-sorted layout is what
   // lets the bottom-up scan treat each vertex's in-edges as one run.
+  // The block index falls out of the sorted array for free: each fixed
+  // kTransposedBlockRecords-record block's dst range, persisted beside
+  // the file so the skip-scan never needs a priming read.
+  view.blocks.assign(num_partitions, {});
   for (std::uint32_t q = 0; q < num_partitions; ++q) {
     const std::string name = transposed_file(pg, q);
     std::vector<Edge> edges(view.in_edges_per_partition[q]);
@@ -212,6 +245,19 @@ TransposedView build_transposed_view(const io::StoragePlan& plan,
     io::RecordWriter<Edge> writer(*file, read_buffer);
     for (const Edge& e : edges) writer.append(e);
     writer.flush();
+
+    std::vector<TransposedBlock>& blocks = view.blocks[q];
+    blocks.resize(transposed_block_count(edges.size()));
+    for (std::uint64_t b = 0; b < blocks.size(); ++b) {
+      const std::uint64_t first = b * kTransposedBlockRecords;
+      const std::uint64_t last =
+          std::min(first + kTransposedBlockRecords, edges.size()) - 1;
+      blocks[b] = {edges[first].dst, edges[last].dst};
+    }
+    auto index = device.open(transposed_index_file(pg, q), /*truncate=*/true);
+    io::RecordWriter<TransposedBlock> index_writer(*index, 1 << 16);
+    for (const TransposedBlock& block : blocks) index_writer.append(block);
+    index_writer.flush();
   }
 
   // Sidecar last: its presence certifies the files above are complete.
@@ -219,6 +265,7 @@ TransposedView build_transposed_view(const io::StoragePlan& plan,
   cfg.set_u64("num_partitions", num_partitions);
   cfg.set_u64("num_edges", pg.meta.num_edges);
   cfg.set_u64("checksum", pg.meta.checksum);
+  cfg.set_u64("block_records", kTransposedBlockRecords);
   for (std::uint32_t q = 0; q < num_partitions; ++q) {
     cfg.set_u64("in_edges" + std::to_string(q),
                 view.in_edges_per_partition[q]);

@@ -85,14 +85,36 @@ inline PartitionedGraph partition_edge_list(io::Device& device,
 /// the partition files (one fan-out pass + one per-partition sort) and
 /// cached on the plan's edge device behind a `.tmeta` sidecar; later
 /// runs at the same partition count load the counts and skip the build.
+/// Fixed record count per transposed-file block: the granularity of the
+/// frontier-density-aware bottom-up reader (pull_partition skips a
+/// block — never reads its bytes — when its whole dst range is already
+/// claimed) and of the pull determinism windows. 4096 edges = 32 KiB.
+inline constexpr std::uint64_t kTransposedBlockRecords = 4096;
+
+/// Destination range of one fixed-size block of a transposed file:
+/// block i covers records [i * kTransposedBlockRecords, ...), whose
+/// dst-sorted destinations all lie in [first_dst, last_dst].
+struct TransposedBlock {
+  VertexId first_dst = 0;
+  VertexId last_dst = 0;
+};
+static_assert(sizeof(TransposedBlock) == 8);
+
 struct TransposedView {
   /// In-edges landing in each partition's vertex range. Sums to
   /// meta.num_edges.
   std::vector<std::uint64_t> in_edges_per_partition;
+  /// Per-partition block index over the transposed files (persisted in
+  /// the `.tindex<q>` files; ceil(count / kTransposedBlockRecords)
+  /// entries each).
+  std::vector<std::vector<TransposedBlock>> blocks;
 };
 
 /// On-device name of partition q's transposed (in-edge) file.
 std::string transposed_file(const PartitionedGraph& pg, std::uint32_t q);
+/// On-device name of partition q's transposed block index.
+std::string transposed_index_file(const PartitionedGraph& pg,
+                                  std::uint32_t q);
 /// The cache sidecar recording per-partition counts + checksum.
 std::string transposed_meta_file(const PartitionedGraph& pg);
 

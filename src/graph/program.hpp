@@ -82,15 +82,26 @@ inline constexpr bool kIdempotentGatherV = requires {
   requires P::kIdempotentGather == true;
 };
 
-/// A program the staging-buffer sieve can run on: `dominated(u, champ)`
-/// returns true when delivering `u` after `champ` can never change the
-/// target's state or activation — so `u` may be dropped at the staging
-/// buffer before it reaches the shuffle writers. Only exact for
-/// idempotent-gather programs, hence the conjunction.
+/// A program the staging-buffer sieve can run on, via a program-supplied
+/// dominance predicate plus a merge:
+///
+///   * `dominates(a, b)` — true when delivering `b` after `a` can never
+///     change the target's state or activation, so `b` may be dropped at
+///     the staging buffer before it reaches the shuffle writers.
+///     Min-folds use value order (any staged champion with an equal-or-
+///     better value dominates); mask folds (MultiBfs) use subset order.
+///   * `sieve_merge(champion, u)` — called when the staged champion does
+///     NOT dominate `u`: fold `u` into the champion so the single staged
+///     record is equivalent to delivering both. Min-folds replace the
+///     champion; mask folds OR the masks.
+///
+/// Only exact for idempotent-gather programs, hence the conjunction.
 template <typename P>
 concept SieveCapable = kIdempotentGatherV<P> &&
-    requires(const P p, const typename P::Update u) {
-      { p.dominated(u, u) } -> std::same_as<bool>;
+    requires(const P p, typename P::Update u) {
+      { p.dominates(std::as_const(u), std::as_const(u)) }
+          -> std::same_as<bool>;
+      { p.sieve_merge(u, std::as_const(u)) } -> std::same_as<void>;
     };
 
 /// A program the bottom-up (pull) direction can run on (core::run's
@@ -116,6 +127,28 @@ template <typename P>
 concept PullCapable = kIdempotentGatherV<P> &&
     requires(const P p, const Edge e, typename P::Update u) {
       { p.pull(e, std::uint32_t{}, u) } -> std::same_as<bool>;
+    };
+
+/// A batched multi-source program (MultiBfs): per-vertex state carries a
+/// 64-bit seen/frontier mask pair the engine can mirror into flat arrays
+/// (xstream::detail::MaskStateTracker) to drive trimming (a vertex is
+/// retired once `seen_mask(s) == full_mask()` — saturated by every
+/// query), bottom-up claiming, and the direction model's per-query
+/// frontier densities. `pull_masked(e, round, mask, out)` is the
+/// bottom-up hook: it builds the update e would carry to e.dst given
+/// src's frontier mask restricted by the caller (the engine passes
+/// `frontier_mask(src) & ~already-delivered`, so a dst's pulled masks
+/// never overlap) and returns false when the restricted mask is empty.
+/// Exactness needs an idempotent OR-fold gather, hence the conjunction.
+template <typename P>
+concept MaskedProgram = kIdempotentGatherV<P> &&
+    requires(const P p, const Edge e, const typename P::State cs,
+             typename P::Update u) {
+      { p.frontier_mask(cs) } -> std::same_as<std::uint64_t>;
+      { p.seen_mask(cs) } -> std::same_as<std::uint64_t>;
+      { p.full_mask() } -> std::same_as<std::uint64_t>;
+      { p.pull_masked(e, std::uint32_t{}, std::uint64_t{}, u) }
+          -> std::same_as<bool>;
     };
 
 /// Deterministic per-edge weight in [1, 2): SSSP needs weights, edge
@@ -178,9 +211,10 @@ struct BfsProgram {
   void apply(VertexId, State&) const {}
   /// Within one round every update to a vertex carries the same level,
   /// so any staged champion dominates every later same-dst update.
-  bool dominated(const Update& u, const Update& champion) const {
-    return u.level >= champion.level;
+  bool dominates(const Update& a, const Update& b) const {
+    return b.level >= a.level;
   }
+  void sieve_merge(Update& champion, const Update& u) const { champion = u; }
   std::uint32_t output(VertexId, const State& s) const { return s.level; }
 };
 static_assert(sizeof(BfsProgram::Update) == 8);
@@ -225,9 +259,10 @@ struct WccProgram {
     return true;
   }
   void apply(VertexId, State&) const {}
-  bool dominated(const Update& u, const Update& champion) const {
-    return u.label >= champion.label;
+  bool dominates(const Update& a, const Update& b) const {
+    return b.label >= a.label;
   }
+  void sieve_merge(Update& champion, const Update& u) const { champion = u; }
   std::uint32_t output(VertexId, const State& s) const { return s.label; }
 };
 
@@ -271,9 +306,10 @@ struct SsspProgram {
     return true;
   }
   void apply(VertexId, State&) const {}
-  bool dominated(const Update& u, const Update& champion) const {
-    return u.dist >= champion.dist;
+  bool dominates(const Update& a, const Update& b) const {
+    return b.dist >= a.dist;
   }
+  void sieve_merge(Update& champion, const Update& u) const { champion = u; }
   float output(VertexId, const State& s) const { return s.dist; }
 };
 
@@ -353,5 +389,12 @@ static_assert(!PullCapable<PageRankProgram>);
 // collapsing duplicates would change ranks.
 static_assert(!kIdempotentGatherV<PageRankProgram>);
 static_assert(!SieveCapable<PageRankProgram>);
+
+// Single-query programs carry no frontier masks; only MultiBfs
+// (graph/multi_bfs.hpp) models MaskedProgram.
+static_assert(!MaskedProgram<BfsProgram>);
+static_assert(!MaskedProgram<WccProgram>);
+static_assert(!MaskedProgram<SsspProgram>);
+static_assert(!MaskedProgram<PageRankProgram>);
 
 }  // namespace fbfs::graph

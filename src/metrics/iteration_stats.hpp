@@ -82,6 +82,18 @@ struct IterationStats {
   std::uint64_t edges_probed = 0;
   double modelled_topdown_bytes = 0.0;
   double modelled_bottomup_bytes = 0.0;
+  /// Transposed-view bytes a bottom-up round never read because the
+  /// whole block's destination range was already claimed (the
+  /// frontier-density-aware reader; zero for top-down rounds).
+  std::uint64_t edge_bytes_skipped = 0;
+
+  /// Batched multi-source traversal (core::run over a masked program —
+  /// MultiBfs; every other engine/program leaves both zero).
+  /// frontier_mask_bits = aggregate popcount of the frontier masks over
+  /// the round's active vertices; queries_active = queries with any
+  /// frontier bit left entering the round.
+  std::uint64_t frontier_mask_bits = 0;
+  std::uint32_t queries_active = 0;
 
   /// Trim life cycle (core::run; zero for the untrimmed engines).
   /// Resolution counters land on the round that RESOLVED the stream —

@@ -23,7 +23,9 @@ struct LiveOpsSnapshot {
   std::uint64_t partitions_scattered = 0;
   std::uint64_t partitions_skipped = 0;
   std::uint64_t iterations = 0;
-  std::uint64_t bottomup_rounds = 0;  // core direction strategy
+  std::uint64_t bottomup_rounds = 0;   // core direction strategy
+  std::uint64_t queries_converged = 0;  // batched (masked) runs: queries
+                                        // whose traversal has finished
 };
 
 class LiveOps {
@@ -38,6 +40,14 @@ class LiveOps {
   void add_partition_skipped() { partitions_skipped_.fetch_add(1, kR); }
   void add_iteration() { iterations_.fetch_add(1, kR); }
   void add_bottomup_round() { bottomup_rounds_.fetch_add(1, kR); }
+  /// Monotone high-water set (not an add): the engine re-derives the
+  /// converged-query count each round, and a sampler must never see it
+  /// go backwards.
+  void set_queries_converged(std::uint64_t n) {
+    std::uint64_t cur = queries_converged_.load(kR);
+    while (n > cur && !queries_converged_.compare_exchange_weak(cur, n, kR)) {
+    }
+  }
 
   LiveOpsSnapshot snapshot() const {
     LiveOpsSnapshot s;
@@ -49,6 +59,7 @@ class LiveOps {
     s.partitions_skipped = partitions_skipped_.load(kR);
     s.iterations = iterations_.load(kR);
     s.bottomup_rounds = bottomup_rounds_.load(kR);
+    s.queries_converged = queries_converged_.load(kR);
     return s;
   }
 
@@ -63,6 +74,7 @@ class LiveOps {
   std::atomic<std::uint64_t> partitions_skipped_{0};
   std::atomic<std::uint64_t> iterations_{0};
   std::atomic<std::uint64_t> bottomup_rounds_{0};
+  std::atomic<std::uint64_t> queries_converged_{0};
 };
 
 }  // namespace fbfs::metrics

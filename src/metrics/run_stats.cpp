@@ -78,6 +78,12 @@ std::uint32_t RunStats::bottomup_rounds() const {
   return total;
 }
 
+std::uint64_t RunStats::edge_bytes_skipped() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations) total += it.stats.edge_bytes_skipped;
+  return total;
+}
+
 std::array<std::uint64_t, 3> RunStats::update_codec_bytes() const {
   std::array<std::uint64_t, 3> total{};
   for (const auto& it : iterations) {
@@ -112,25 +118,44 @@ void RunStats::print(std::ostream& os) const {
      << Table::count(ops.updates_emitted) << " updates ("
      << Table::count(ops.updates_sieved) << " sieved), "
      << Table::seconds(wall_seconds) << "\n";
-  Table table({"iter", "dir", "scat", "skip", "updates", "sieved", "active",
-               "sec", "edges rd", "upd wr", "u raw", "u bmp", "u vint",
-               "stay wr", "trims", "iowait"});
+  // The two batch columns ("qact" live queries, "skip rd" bytes the
+  // density-aware bottom-up reader never read) only render when a row
+  // used them — single-query runs keep the familiar 16-column table.
+  bool batched = false;
+  for (const auto& it : iterations) {
+    batched |= it.stats.queries_active > 0 ||
+               it.stats.edge_bytes_skipped > 0;
+  }
+  std::vector<std::string> header = {
+      "iter", "dir", "scat", "skip", "updates", "sieved", "active", "sec",
+      "edges rd", "upd wr", "u raw", "u bmp", "u vint", "stay wr", "trims",
+      "iowait"};
+  if (batched) {
+    header.insert(header.begin() + 7, "qact");
+    header.insert(header.begin() + 10, "skip rd");
+  }
+  Table table(header);
   for (const auto& it : iterations) {
     const IterationStats& s = it.stats;
-    table.add_row(
-        {std::to_string(s.iteration), s.bottomup ? "bu" : "td",
-         std::to_string(s.partitions_scattered),
-         std::to_string(s.partitions_skipped), Table::count(s.updates_emitted),
-         Table::count(s.updates_sieved), Table::count(s.activated),
-         Table::seconds(s.seconds),
-         Table::bytes(s.role_io(io::Role::kEdges).bytes_read +
-                      s.role_io(io::Role::kStay).bytes_read),
-         Table::bytes(s.role_io(io::Role::kUpdates).bytes_written),
-         Table::bytes(s.update_codec_bytes[0]),
-         Table::bytes(s.update_codec_bytes[1]),
-         Table::bytes(s.update_codec_bytes[2]),
-         Table::bytes(s.role_io(io::Role::kStay).bytes_written),
-         std::to_string(s.trims_started), Table::percent(s.modelled_iowait())});
+    std::vector<std::string> row = {
+        std::to_string(s.iteration), s.bottomup ? "bu" : "td",
+        std::to_string(s.partitions_scattered),
+        std::to_string(s.partitions_skipped), Table::count(s.updates_emitted),
+        Table::count(s.updates_sieved), Table::count(s.activated),
+        Table::seconds(s.seconds),
+        Table::bytes(s.role_io(io::Role::kEdges).bytes_read +
+                     s.role_io(io::Role::kStay).bytes_read),
+        Table::bytes(s.role_io(io::Role::kUpdates).bytes_written),
+        Table::bytes(s.update_codec_bytes[0]),
+        Table::bytes(s.update_codec_bytes[1]),
+        Table::bytes(s.update_codec_bytes[2]),
+        Table::bytes(s.role_io(io::Role::kStay).bytes_written),
+        std::to_string(s.trims_started), Table::percent(s.modelled_iowait())};
+    if (batched) {
+      row.insert(row.begin() + 7, std::to_string(s.queries_active));
+      row.insert(row.begin() + 10, Table::bytes(s.edge_bytes_skipped));
+    }
+    table.add_row(row);
   }
   table.print(os);
   for (std::size_t p = 0; p < kNumPhases; ++p) {
@@ -163,6 +188,12 @@ void RunStats::write_json(Json& json) const {
   json.integer("updates_emitted", ops.updates_emitted);
   json.integer("updates_sieved", ops.updates_sieved);
   json.integer("bottomup_rounds", bottomup_rounds());
+  if (edge_bytes_skipped() > 0) {
+    json.integer("edge_bytes_skipped", edge_bytes_skipped());
+  }
+  if (ops.queries_converged > 0) {
+    json.integer("queries_converged", ops.queries_converged);
+  }
   json.integer("partitions_scattered", ops.partitions_scattered);
   json.integer("partitions_skipped", ops.partitions_skipped);
   json.integer("bytes_read", device_bytes_read());
@@ -194,6 +225,13 @@ void RunStats::write_json(Json& json) const {
     json.text("direction", s.bottomup ? "bottomup" : "topdown");
     json.integer("edges_scanned", s.edges_scanned);
     json.integer("edges_probed", s.edges_probed);
+    if (s.edge_bytes_skipped > 0) {
+      json.integer("edge_bytes_skipped", s.edge_bytes_skipped);
+    }
+    if (s.queries_active > 0) {
+      json.integer("queries_active", s.queries_active);
+      json.integer("frontier_mask_bits", s.frontier_mask_bits);
+    }
     if (s.modelled_topdown_bytes > 0.0 || s.modelled_bottomup_bytes > 0.0) {
       json.number("modelled_topdown_bytes", s.modelled_topdown_bytes);
       json.number("modelled_bottomup_bytes", s.modelled_bottomup_bytes);

@@ -71,6 +71,10 @@ struct RunStats {
   std::uint64_t edges_probed() const;
   /// Rounds the direction strategy ran bottom-up.
   std::uint32_t bottomup_rounds() const;
+  /// Transposed-view bytes bottom-up rounds never read because whole
+  /// blocks' dst ranges were already claimed (the frontier-density-
+  /// aware reader), summed over the rows.
+  std::uint64_t edge_bytes_skipped() const;
   /// Update-file bytes written over the run, bucketed by on-disk codec
   /// format: [raw, bitmap, varint] (io::codec::Format order).
   std::array<std::uint64_t, 3> update_codec_bytes() const;

@@ -14,12 +14,14 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -73,18 +75,89 @@ void write_records(io::Device& device, const std::string& name,
   writer.close();
 }
 
+/// State-observer hook of init_partition_states / gather_partitions:
+/// the default observes nothing and costs nothing (the hook is guarded
+/// by `if constexpr` on the observer type, so non-masked instantiations
+/// compile exactly as before).
+struct NoStateObserver {};
+
+/// Engine-side mirror of a masked program's per-vertex masks
+/// (graph::MaskedProgram — MultiBfs). The engines keep vertex State on
+/// device between phases, but trimming, bottom-up claiming, and the
+/// direction model need O(1) access to every vertex's seen/frontier
+/// mask each round; the tracker shadows them in flat arrays, refreshed
+/// by the observer hook whenever a partition's states are (re)written.
+/// Observed partitions cover disjoint vertex ranges, so concurrent
+/// observe_range calls (the parallel init pass) never touch the same
+/// slot; `saturated` is the trim/claim bitmap — a vertex every query
+/// has seen can never gather anything new, its out-edges are dead and
+/// bottom-up rounds skip its in-edge runs. Saturation is monotone, so
+/// bits are only ever added.
+///
+/// Partitions gather_partitions skips (no pending updates) keep stale
+/// mirror entries — exactly: their states did not change.
+template <graph::GraphProgram P>
+struct MaskStateTracker {
+  const P& program;
+  std::vector<std::uint64_t> frontier;
+  std::vector<std::uint64_t> seen;
+  AtomicBitmap saturated;
+
+  MaskStateTracker(const P& program, std::uint64_t num_vertices)
+      : program(program),
+        frontier(num_vertices, 0),
+        seen(num_vertices, 0),
+        saturated(num_vertices) {}
+
+  void observe_range(graph::VertexId begin,
+                     std::span<const typename P::State> states) {
+    const std::uint64_t full = program.full_mask();
+    for (std::uint64_t i = 0; i < states.size(); ++i) {
+      const std::uint64_t v = begin + i;
+      frontier[v] = program.frontier_mask(states[i]);
+      seen[v] = program.seen_mask(states[i]);
+      if (seen[v] == full) saturated.set(v);
+    }
+  }
+
+  struct RoundMasks {
+    /// Aggregate popcount of the frontier masks over the round's active
+    /// vertices — the direction model's per-query frontier density.
+    std::uint64_t frontier_bits = 0;
+    /// OR of those masks: which queries still have any frontier at all.
+    std::uint64_t active_mask = 0;
+  };
+  RoundMasks round_masks(const AtomicBitmap& active) const {
+    RoundMasks out;
+    for (std::uint64_t w = 0; w < active.num_words(); ++w) {
+      std::uint64_t bits = active.word(w);
+      while (bits != 0) {
+        const std::uint64_t v =
+            w * 64 + static_cast<std::uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        out.frontier_bits +=
+            static_cast<std::uint64_t>(std::popcount(frontier[v]));
+        out.active_mask |= frontier[v];
+      }
+    }
+    return out;
+  }
+};
+
 /// The init pass: one scan per partition builds local out-degrees off
 /// the partition's own edge file, runs program.init over its vertex
 /// range, writes its state file, and marks the initially-active
 /// vertices in `active`. Partitions are independent (own files, atomic
 /// bitmap), so with a pool they run concurrently, one task each.
-template <graph::GraphProgram P>
+/// `observer` (masked programs) sees each partition's states once they
+/// are final.
+template <graph::GraphProgram P, typename Observer = NoStateObserver>
 void init_partition_states(const graph::PartitionedGraph& pg,
                            const io::StoragePlan& plan,
                            const io::ReaderOptions& reader,
                            std::size_t write_buffer_bytes, const P& program,
-                           AtomicBitmap& active,
-                           const ExecContext& exec = {}) {
+                           AtomicBitmap& active, const ExecContext& exec = {},
+                           Observer* observer = nullptr) {
   using State = typename P::State;
   const graph::PartitionLayout& layout = pg.layout;
   const auto init_one = [&](std::uint32_t p) {
@@ -110,6 +183,11 @@ void init_partition_states(const graph::PartitionedGraph& pg,
     }
     write_records<State>(plan.state(), state_file_name(pg, p), states,
                          write_buffer_bytes);
+    if constexpr (!std::is_same_v<Observer, NoStateObserver>) {
+      if (observer != nullptr) {
+        observer->observe_range(begin, std::span<const State>(states));
+      }
+    }
   };
   if (!exec.parallel() || layout.num_partitions() == 1) {
     for (std::uint32_t p = 0; p < layout.num_partitions(); ++p) init_one(p);
@@ -224,6 +302,11 @@ struct ScatterResult {
   /// the rest of a vertex's in-edge run once the vertex is claimed, so
   /// probed is the short-circuit's savings made visible.
   std::uint64_t probed = 0;
+  /// Edges never READ at all: bottom-up blocks whose whole destination
+  /// range was already claimed are skipped without touching their bytes
+  /// (the frontier-density-aware reader). scanned + skipped covers the
+  /// input file.
+  std::uint64_t skipped = 0;
 };
 
 /// One worker's staging state for a scatter window: per-destination-
@@ -233,8 +316,9 @@ struct ScatterResult {
 /// `reader.buffer_bytes / sizeof(Edge)` records — so the sieve sees
 /// identical windows at every thread count and the update files stay
 /// byte-identical. Within a window the first update to a destination
-/// claims the slot; a later non-dominated update replaces the champion
-/// IN that slot (file position = first sighting, value = best), and
+/// claims the slot; a later non-dominated update is folded into the
+/// champion IN that slot via program.sieve_merge (file position = first
+/// sighting, value = the fold: min-folds replace, mask folds OR), and
 /// either way the later record is dropped. Exact only for
 /// SieveCapable programs — the sieve flag is dead for the rest.
 template <graph::GraphProgram P>
@@ -265,7 +349,7 @@ struct ScatterStage {
             graph::VertexId(u.dst), static_cast<std::uint32_t>(bucket.size()));
         if (!inserted) {
           Update& champion = bucket[it->second];
-          if (!program.dominated(u, champion)) champion = u;
+          if (!program.dominates(champion, u)) program.sieve_merge(champion, u);
           ++sieved;
           return;
         }
@@ -543,54 +627,87 @@ ScatterResult scatter_span(
 }
 
 /// One partition's bottom-up pull: scans partition q's TRANSPOSED
-/// (in-edge, dst-sorted) file and lets still-unvisited destinations
-/// probe the frontier through program.pull. Because the file is sorted
-/// by destination, a vertex's in-edges form one contiguous run; the
-/// first successful pull claims the vertex and the rest of its run is
-/// skipped without touching program state — `probed` counts only the
-/// edges that got as far as the bitmap probes, which is where the
-/// direction optimisation's savings live.
+/// (in-edge, dst-sorted) file and lets still-unclaimed destinations
+/// probe the frontier. Because the file is sorted by destination, a
+/// vertex's in-edges form one contiguous run; once a run's vertex is
+/// claimed the rest of the run is skipped without touching program
+/// state — `probed` counts only the edges that got as far as the
+/// bitmap probes, which is where the direction optimisation's savings
+/// live.
+///
+/// Two program families, selected by `if constexpr`:
+///
+///   * PullCapable (single-query BFS): `claimed` is the engine's
+///     visited bitmap; the first successful pull claims the vertex for
+///     the round.
+///   * MaskedProgram (MultiBfs): `claimed` is the saturation bitmap and
+///     the caller additionally passes the MaskStateTracker's flat
+///     frontier/seen mask arrays. Each edge pulls
+///     `frontier[src] & ~delivered-so-far` — the accumulator starts at
+///     the destination's seen mask, so a dst's pulled masks never
+///     overlap and their union is exactly what top-down would deliver
+///     fresh — and the run is claimed once the accumulator saturates.
+///
+/// Granularity and the byte-skipping reader: the file is processed in
+/// the transposed view's fixed blocks (graph::kTransposedBlockRecords
+/// records; `blocks` holds each block's dst range). A block whose whole
+/// dst range is already claimed is SKIPPED — its records are counted in
+/// ScatterResult::skipped and its bytes are never read (the
+/// frontier-density-aware reader; conservative, since the range test
+/// also covers ids with no in-edges in the block). Needed blocks are
+/// coalesced into read units of at most `reader.buffer_bytes` and read
+/// with one positional request each (replacing the streaming reader —
+/// read-ahead does not fit a skip-seek scan).
 ///
 /// Determinism contract, mirroring scatter_partition: the run-tracking
-/// state (current destination + claimed flag) resets at every window
-/// boundary — a serial reader batch or a parallel chunk, both exactly
-/// `reader.buffer_bytes / sizeof(Edge)` records — so a run straddling a
-/// boundary may emit one extra update per boundary. That duplicate is
-/// exact (PullCapable requires all same-destination same-round pull
-/// outputs byte-identical and the gather idempotent) and deterministic
-/// (fixed window size), so update files stay byte-identical at every
-/// thread count. The staging sieve stays off here: the claimed flag
-/// already dedupes within a window.
-///
-/// Only instantiated for PullCapable programs (core's engine gates the
-/// call behind `if constexpr`). No TrimSink: bottom-up rounds read the
-/// transposed view, so there is nothing to learn about the forward
-/// files' dead edges.
+/// state (current destination, claimed flag, delivered-mask
+/// accumulator) resets at every BLOCK boundary — fixed at view build
+/// time — so serial and parallel runs window identically and a run
+/// straddling a boundary re-emits deterministically (byte-identical
+/// records for PullCapable, disjoint-mask records with the same union
+/// for masked programs; both exact under the idempotent gather). The
+/// staging sieve stays off here: claiming already dedupes within a
+/// block.
 template <graph::GraphProgram P>
-  requires graph::PullCapable<P>
+  requires(graph::PullCapable<P> || graph::MaskedProgram<P>)
 ScatterResult pull_partition(
     const ExecContext& exec, io::Device& input_dev,
     const std::string& input_name, std::uint64_t num_records,
+    std::span<const graph::TransposedBlock> blocks,
     const graph::PartitionLayout& layout, std::uint32_t partition,
-    const AtomicBitmap& active, const AtomicBitmap& visited, const P& program,
-    std::uint32_t round, const io::ReaderOptions& reader,
+    const AtomicBitmap& active, const AtomicBitmap& claimed_set,
+    const P& program, std::uint32_t round, const io::ReaderOptions& reader,
+    std::span<const std::uint64_t> frontier_masks,
+    std::span<const std::uint64_t> seen_masks,
     UpdateFanout<typename P::Update>& fanout,
     metrics::Collector* collector = nullptr) {
+  constexpr bool kMasked = graph::MaskedProgram<P>;
+  constexpr std::uint64_t kBlock = graph::kTransposedBlockRecords;
   const graph::VertexId range_begin = layout.begin(partition);
   const graph::VertexId range_end = layout.end(partition);
-  // Run-tracking state, one per window: reset per serial batch and per
-  // parallel chunk (the same record count), never mid-window.
-  struct RunState {
+  FB_CHECK_MSG(blocks.size() == (num_records + kBlock - 1) / kBlock,
+               input_name << " block index covers " << blocks.size()
+                          << " blocks for " << num_records << " records");
+  [[maybe_unused]] std::uint64_t full = 0;
+  if constexpr (kMasked) full = program.full_mask();
+
+  const auto block_count = [&](std::uint64_t b) {
+    return b + 1 == blocks.size() ? num_records - b * kBlock : kBlock;
+  };
+  const auto block_skippable = [&](std::uint64_t b) {
+    return claimed_set.all_in_range(
+        blocks[b].first_dst, static_cast<std::uint64_t>(blocks[b].last_dst) + 1);
+  };
+
+  // One block's pull loop; all run state is local, so every block is
+  // self-contained whatever read unit delivered it.
+  const auto process_block = [&](std::span<const graph::Edge> window,
+                                 ScatterStage<P>& stage,
+                                 std::uint64_t& probed) {
     graph::VertexId last_dst = 0;
     bool have_run = false;
     bool claimed = false;
-  };
-  // One span's pull loop. `stage` buffers the emitted updates (all
-  // owned by `partition` itself — pull targets its own vertex range);
-  // `probed` counts edges whose run was still unclaimed.
-  auto process_span = [&](std::span<const graph::Edge> window, RunState& run,
-                          ScatterStage<P>& stage, std::uint64_t& probed) {
-    auto& [last_dst, have_run, claimed] = run;
+    [[maybe_unused]] std::uint64_t delivered = 0;
     for (const graph::Edge& e : window) {
       FB_CHECK_MSG(e.dst >= range_begin && e.dst < range_end,
                    input_name << " holds edge to " << e.dst
@@ -601,32 +718,105 @@ ScatterResult pull_partition(
                                 << e.dst);
         have_run = true;
         last_dst = e.dst;
-        claimed = visited.test(e.dst);
+        claimed = claimed_set.test(e.dst);
+        if constexpr (kMasked) delivered = claimed ? 0 : seen_masks[e.dst];
       }
       if (claimed) continue;
       ++probed;
       if (!active.test(e.src)) continue;
       typename P::Update u;
-      if (program.pull(e, round, u)) {
-        stage.stage(u);
-        claimed = true;
+      if constexpr (kMasked) {
+        const std::uint64_t mask = frontier_masks[e.src] & ~delivered;
+        if (program.pull_masked(e, round, mask, u)) {
+          stage.stage(u);
+          delivered |= mask;
+          if (delivered == full) claimed = true;
+        }
+      } else {
+        if (program.pull(e, round, u)) {
+          stage.stage(u);
+          claimed = true;
+        }
       }
     }
   };
 
-  if (!exec.parallel()) {
+  // The skip/read schedule, decided once up front (the claimed set is
+  // frozen for the round): contiguous needed blocks coalesce into read
+  // units of at most unit_blocks, each one positional read.
+  struct ReadUnit {
+    std::uint64_t first_block = 0;
+    std::uint64_t num_blocks = 0;
+  };
+  const std::uint64_t unit_blocks = std::max<std::uint64_t>(
+      1, reader.buffer_bytes / (kBlock * sizeof(graph::Edge)));
+  std::vector<ReadUnit> units;
+  std::uint64_t skipped = 0;
+  for (std::uint64_t b = 0; b < blocks.size(); ++b) {
+    if (block_skippable(b)) {
+      skipped += block_count(b);
+      continue;
+    }
+    if (!units.empty() &&
+        units.back().first_block + units.back().num_blocks == b &&
+        units.back().num_blocks < unit_blocks) {
+      ++units.back().num_blocks;
+    } else {
+      units.push_back({b, 1});
+    }
+  }
+
+  // Reads one unit and pulls its blocks into `stage`.
+  const auto process_unit = [&](const ReadUnit& unit, ScatterStage<P>& stage,
+                                std::uint64_t& scanned, std::uint64_t& probed) {
+    const std::uint64_t first_record = unit.first_block * kBlock;
+    std::uint64_t unit_records = 0;
+    for (std::uint64_t b = 0; b < unit.num_blocks; ++b) {
+      unit_records += block_count(unit.first_block + b);
+    }
     io::ReaderOptions opts = reader;
-    opts.offset = 0;  // transposed files are headerless
+    opts.mode = io::ReaderMode::kPlain;
+    opts.offset = first_record * sizeof(graph::Edge);
+    opts.buffer_bytes =
+        static_cast<std::size_t>(unit_records * sizeof(graph::Edge));
     auto edges =
         io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
+    std::uint64_t block = unit.first_block;
+    std::uint64_t into_block = 0;
+    std::uint64_t remaining = unit_records;
+    while (remaining > 0) {
+      auto batch = edges->next_batch();
+      FB_CHECK_MSG(!batch.empty(),
+                   input_name << " ends inside its block index ("
+                              << remaining << " records short)");
+      std::size_t off = 0;
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(batch.size(), remaining));
+      while (off < take) {
+        const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+            block_count(block) - into_block, take - off));
+        process_block(batch.subspan(off, n), stage, probed);
+        off += n;
+        into_block += n;
+        if (into_block == block_count(block)) {
+          ++block;
+          into_block = 0;
+        }
+      }
+      remaining -= take;
+    }
+    // A delivered batch smaller than a block never splits one: the one
+    // positional read returns the whole unit in a single batch today,
+    // and the inner loop re-syncs on block boundaries regardless.
+    scanned += unit_records;
+  };
+
+  if (!exec.parallel()) {
     ScatterStage<P> stage(program, layout, /*sieve=*/false);
     std::uint64_t scanned = 0;
     std::uint64_t probed = 0;
-    for (auto batch = edges->next_batch(); !batch.empty();
-         batch = edges->next_batch()) {
-      scanned += batch.size();
-      RunState run;
-      process_span(batch, run, stage, probed);
+    for (const ReadUnit& unit : units) {
+      process_unit(unit, stage, scanned, probed);
       {
         metrics::ScopedPhase flush_timer(collector,
                                          metrics::Phase::kShuffleFlush);
@@ -638,46 +828,25 @@ ScatterResult pull_partition(
       collector->live().add_edges_probed(probed);
       collector->live().add_updates(stage.emitted, 0);
     }
-    return {scanned, stage.emitted, 0, probed};
+    return {scanned, stage.emitted, 0, probed, skipped};
   }
 
-  const std::uint64_t chunk_records = std::max<std::uint64_t>(
-      1, reader.buffer_bytes / sizeof(graph::Edge));
-  const std::uint64_t num_chunks =
-      num_records == 0 ? 0 : (num_records + chunk_records - 1) / chunk_records;
+  // Parallel: one task per read unit, retiring through the ordered
+  // hand-off in file order — same records, same per-block windows, so
+  // the update files match the serial bytes.
   OrderedGate gate;
-  std::atomic<std::uint64_t> scanned{0};
+  std::atomic<std::uint64_t> scanned_total{0};
   std::atomic<std::uint64_t> emitted{0};
   std::atomic<std::uint64_t> probed_total{0};
-  std::vector<std::future<void>> chunks;
-  chunks.reserve(num_chunks);
-  for (std::uint64_t c = 0; c < num_chunks; ++c) {
-    chunks.push_back(exec.pool->submit([&, c] {
-      const std::uint64_t first = c * chunk_records;
-      const std::uint64_t count =
-          std::min(chunk_records, num_records - first);
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(units.size());
+  for (std::uint64_t c = 0; c < units.size(); ++c) {
+    tasks.push_back(exec.pool->submit([&, c] {
       ScatterStage<P> stage(program, layout, /*sieve=*/false);
+      std::uint64_t scanned = 0;
       std::uint64_t probed = 0;
-      RunState run;
       try {
-        io::ReaderOptions opts = reader;
-        opts.mode = io::ReaderMode::kPlain;
-        opts.offset = first * sizeof(graph::Edge);
-        opts.buffer_bytes =
-            static_cast<std::size_t>(count * sizeof(graph::Edge));
-        auto edges =
-            io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
-        std::uint64_t remaining = count;
-        while (remaining > 0) {
-          auto batch = edges->next_batch();
-          FB_CHECK_MSG(!batch.empty(),
-                       input_name << " ends inside chunk " << c << " ("
-                                  << remaining << " records short)");
-          const std::size_t take = static_cast<std::size_t>(
-              std::min<std::uint64_t>(batch.size(), remaining));
-          process_span(batch.subspan(0, take), run, stage, probed);
-          remaining -= take;
-        }
+        process_unit(units[c], stage, scanned, probed);
       } catch (...) {
         gate.wait_turn(c);
         gate.complete(c);
@@ -693,20 +862,20 @@ ScatterResult pull_partition(
         throw;
       }
       gate.complete(c);
-      scanned.fetch_add(count, std::memory_order_relaxed);
+      scanned_total.fetch_add(scanned, std::memory_order_relaxed);
       emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
       probed_total.fetch_add(probed, std::memory_order_relaxed);
       if (collector != nullptr) {
-        collector->live().add_edges_scanned(count);
+        collector->live().add_edges_scanned(scanned);
         collector->live().add_edges_probed(probed);
         collector->live().add_updates(stage.emitted, 0);
       }
     }));
   }
-  join_all(chunks);
-  return {scanned.load(std::memory_order_relaxed),
+  join_all(tasks);
+  return {scanned_total.load(std::memory_order_relaxed),
           emitted.load(std::memory_order_relaxed), 0,
-          probed_total.load(std::memory_order_relaxed)};
+          probed_total.load(std::memory_order_relaxed), skipped};
 }
 
 /// Gather (+ apply): partitions with no pending updates keep their
@@ -721,14 +890,19 @@ ScatterResult pull_partition(
 /// destination preserves per-cell order — though the engine contract
 /// (program.hpp) additionally requires gathers to be order-free exact
 /// reductions. Apply splits over the same subranges.
-template <graph::GraphProgram P>
+///
+/// `observer` (masked programs — see MaskStateTracker) sees each
+/// touched partition's states after gather + apply; skipped partitions
+/// keep their previous (still accurate) mirror entries.
+template <graph::GraphProgram P, typename Observer = NoStateObserver>
 void gather_partitions(const graph::PartitionedGraph& pg,
                        const io::StoragePlan& plan,
                        const io::ReaderOptions& reader,
                        std::size_t write_buffer_bytes, const P& program,
                        const std::vector<std::uint64_t>& pending_updates,
                        AtomicBitmap& next_active, const ExecContext& exec = {},
-                       metrics::Collector* collector = nullptr) {
+                       metrics::Collector* collector = nullptr,
+                       Observer* observer = nullptr) {
   using State = typename P::State;
   using Update = typename P::Update;
   const graph::PartitionLayout& layout = pg.layout;
@@ -796,6 +970,11 @@ void gather_partitions(const graph::PartitionedGraph& pg,
     }
     write_records<State>(plan.state(), state_file_name(pg, q), states,
                          write_buffer_bytes);
+    if constexpr (!std::is_same_v<Observer, NoStateObserver>) {
+      if (observer != nullptr) {
+        observer->observe_range(begin, std::span<const State>(states));
+      }
+    }
   }
 }
 

@@ -97,6 +97,40 @@ TEST(DirectionCostModel, SyntheticFrontierScheduleFlipsExactlyMidRun) {
   }
 }
 
+TEST(DirectionCostModel, MaskedBatchesGateOnTheMeanPerQueryFraction) {
+  // A 64-query batch: 250 frontier VERTICES look dense (0.25 of V), but
+  // the masks say each query holds a sliver — 320 total frontier bits
+  // over 64 queries is 5 bits per query, 0.005 of V. The beta gate must
+  // read the per-query mean and refuse the flip, while the byte terms
+  // keep pricing update records by the vertex fraction.
+  DirectionInputs in = synthetic_inputs(0.25);
+  in.frontier_bits = 320;
+  in.active_queries = 64;
+  DirectionCosts costs;
+  EXPECT_EQ(core::decide_direction(Direction::kAuto, in, 1.0, 0.1, &costs),
+            Direction::kTopDown);
+  EXPECT_DOUBLE_EQ(costs.frontier_fraction, 320.0 / (1000.0 * 64.0));
+  // Byte terms unchanged from the single-query snapshot at the same
+  // vertex fraction.
+  const DirectionCosts single = core::model_direction_costs(
+      synthetic_inputs(0.25));
+  EXPECT_DOUBLE_EQ(costs.topdown_bytes, single.topdown_bytes);
+  EXPECT_DOUBLE_EQ(costs.bottomup_bytes, single.bottomup_bytes);
+
+  // Saturated masks: every live query holds a quarter of V — now the
+  // gate clears and the byte model flips, exactly like a single dense
+  // query.
+  in.frontier_bits = 250ull * 64;
+  EXPECT_EQ(core::decide_direction(Direction::kAuto, in, 1.0, 0.1, &costs),
+            Direction::kBottomUp);
+  EXPECT_DOUBLE_EQ(costs.frontier_fraction, 0.25);
+
+  // active_queries = 0 (the single-query default) must leave the gate
+  // on the vertex fraction even when frontier_bits is stale-nonzero.
+  in.active_queries = 0;
+  EXPECT_EQ(core::model_direction_costs(in).frontier_fraction, 0.25);
+}
+
 TEST(DirectionCostModel, AlphaScalesTheFlipThreshold) {
   // At 0.25 frontier, topdown ~= 192000 bytes vs bottomup ~= 136000:
   // a ratio of ~1.41. alpha above that must refuse the flip.

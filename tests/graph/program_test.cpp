@@ -38,6 +38,33 @@ TEST(Programs, BfsScatterCarriesNextLevelAndGatherTakesTheMin) {
   EXPECT_EQ(dst.level, 1u);
 }
 
+TEST(Programs, SievePredicatesAreMinFoldsForTheScalarPrograms) {
+  // dominates(a, b) must mean "after delivering a, b is redundant" and
+  // sieve_merge(champion, u) must leave the champion equivalent to
+  // delivering both — the sieve's exactness contract (SieveCapable).
+  const BfsProgram bfs;
+  EXPECT_TRUE(bfs.dominates({2, 3}, {2, 3}));   // equal level: redundant
+  EXPECT_TRUE(bfs.dominates({2, 3}, {2, 7}));   // worse level: redundant
+  EXPECT_FALSE(bfs.dominates({2, 3}, {2, 1}));  // better level survives
+  BfsProgram::Update bfs_champ{2, 3};
+  bfs.sieve_merge(bfs_champ, {2, 1});  // min-fold: the winner replaces
+  EXPECT_EQ(bfs_champ.level, 1u);
+
+  const WccProgram wcc;
+  EXPECT_TRUE(wcc.dominates({5, 2}, {5, 9}));
+  EXPECT_FALSE(wcc.dominates({5, 2}, {5, 1}));
+  WccProgram::Update wcc_champ{5, 2};
+  wcc.sieve_merge(wcc_champ, {5, 1});
+  EXPECT_EQ(wcc_champ.label, 1u);
+
+  const SsspProgram sssp;
+  EXPECT_TRUE(sssp.dominates({4, 1.5f}, {4, 2.5f}));
+  EXPECT_FALSE(sssp.dominates({4, 1.5f}, {4, 0.5f}));
+  SsspProgram::Update sssp_champ{4, 1.5f};
+  sssp.sieve_merge(sssp_champ, {4, 0.5f});
+  EXPECT_EQ(sssp_champ.dist, 0.5f);
+}
+
 TEST(Programs, WccEveryVertexStartsActiveWithItsOwnLabel) {
   const WccProgram wcc;
   WccProgram::State s;
