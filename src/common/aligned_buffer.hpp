@@ -1,0 +1,129 @@
+// Aligned I/O buffers for the real-device backend.
+//
+// O_DIRECT transfers require the buffer address, the file offset, and
+// the transfer length to be multiples of the device's logical block
+// size. Engine code hands the storage layer ordinary byte spans, so
+// the real backend bounces unaligned requests through buffers from an
+// AlignedBufferPool: a thread-safe freelist of page-aligned
+// allocations, reused across operations so the hot scan path never
+// calls the allocator per read. The pool caps how many buffers it
+// keeps (peak-size buffers are retained preferentially); anything
+// beyond the cap is freed on release.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fbfs {
+
+/// One aligned allocation. Movable, frees on destruction.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  /// `alignment` must be a power of two; the allocation size is rounded
+  /// up to a multiple of it (std::aligned_alloc's contract).
+  static AlignedBuffer allocate(std::size_t bytes, std::size_t alignment) {
+    FB_CHECK_MSG(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                 "alignment must be a power of two, got " << alignment);
+    const std::size_t size = (bytes + alignment - 1) / alignment * alignment;
+    void* ptr = std::aligned_alloc(alignment, size == 0 ? alignment : size);
+    FB_CHECK_MSG(ptr != nullptr,
+                 "aligned_alloc of " << size << " bytes failed");
+    AlignedBuffer out;
+    out.data_ = static_cast<std::byte*>(ptr);
+    out.size_ = size == 0 ? alignment : size;
+    out.alignment_ = alignment;
+    return out;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        alignment_(std::exchange(other.alignment_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      alignment_ = std::exchange(other.alignment_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t alignment() const { return alignment_; }
+  bool empty() const { return data_ == nullptr; }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = 0;
+};
+
+/// Thread-safe freelist of AlignedBuffers sharing one alignment.
+/// acquire() returns a buffer of at least `min_bytes` (reusing the
+/// largest cached one that fits, else allocating); release() returns a
+/// buffer for reuse, keeping at most `max_cached` and preferring to
+/// keep the larger ones (so the pool converges on the workload's peak
+/// request size instead of churning).
+class AlignedBufferPool {
+ public:
+  explicit AlignedBufferPool(std::size_t alignment, std::size_t max_cached = 16)
+      : alignment_(alignment), max_cached_(max_cached) {
+    FB_CHECK_MSG(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                 "alignment must be a power of two, got " << alignment);
+  }
+
+  std::size_t alignment() const { return alignment_; }
+
+  AlignedBuffer acquire(std::size_t min_bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Smallest cached buffer that fits (the list is kept sorted by
+      // size, so the first fit is the tightest fit).
+      for (std::size_t i = 0; i < cache_.size(); ++i) {
+        if (cache_[i].size() >= min_bytes) {
+          AlignedBuffer out = std::move(cache_[i]);
+          cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(i));
+          return out;
+        }
+      }
+    }
+    return AlignedBuffer::allocate(min_bytes, alignment_);
+  }
+
+  void release(AlignedBuffer buffer) {
+    if (buffer.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Insert sorted by size; evict the smallest when over the cap.
+    auto it = cache_.begin();
+    while (it != cache_.end() && it->size() < buffer.size()) ++it;
+    cache_.insert(it, std::move(buffer));
+    if (cache_.size() > max_cached_) cache_.erase(cache_.begin());
+  }
+
+  std::size_t cached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+  }
+
+ private:
+  const std::size_t alignment_;
+  const std::size_t max_cached_;
+  mutable std::mutex mutex_;
+  std::vector<AlignedBuffer> cache_;  // sorted by size, ascending
+};
+
+}  // namespace fbfs

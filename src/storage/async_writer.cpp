@@ -41,6 +41,11 @@ struct AsyncWriter::Stream {
   std::atomic<bool> acked{false};  // writer thread finished with it
 };
 
+// Pool buffers are aligned for O_DIRECT so full-buffer flushes on a
+// real-backend device go down the direct path without bouncing; on the
+// modelled backend alignment is simply invisible.
+constexpr std::size_t kPoolAlignment = 4096;
+
 AsyncWriter::AsyncWriter(std::size_t buffer_bytes, std::size_t pool_buffers)
     : buffer_bytes_(buffer_bytes == 0 ? 1 : buffer_bytes),
       base_buffers_(pool_buffers),
@@ -49,7 +54,7 @@ AsyncWriter::AsyncWriter(std::size_t buffer_bytes, std::size_t pool_buffers)
   pool_.reserve(pool_buffers);
   free_buffers_.reserve(pool_buffers);
   for (std::size_t i = 0; i < pool_buffers; ++i) {
-    pool_.push_back(std::make_unique<std::byte[]>(buffer_bytes_));
+    pool_.push_back(AlignedBuffer::allocate(buffer_bytes_, kPoolAlignment));
     free_buffers_.push_back(static_cast<int>(i));
   }
   allocated_ = pool_buffers;
@@ -117,7 +122,7 @@ std::shared_ptr<AsyncWriter::Stream> AsyncWriter::find_or_null(
 // the returned pointer stays valid until the buffer is released.
 std::byte* AsyncWriter::buffer_ptr(int index) const {
   std::lock_guard<std::mutex> lock(pool_mutex_);
-  return pool_[index].get();
+  return pool_[index].data();
 }
 
 int AsyncWriter::acquire_buffer() {
@@ -137,10 +142,10 @@ int AsyncWriter::allocate_stream_buffer() {
   if (!retired_slots_.empty()) {
     index = retired_slots_.back();
     retired_slots_.pop_back();
-    pool_[index] = std::make_unique<std::byte[]>(buffer_bytes_);
+    pool_[index] = AlignedBuffer::allocate(buffer_bytes_, kPoolAlignment);
   } else {
     index = static_cast<int>(pool_.size());
-    pool_.push_back(std::make_unique<std::byte[]>(buffer_bytes_));
+    pool_.push_back(AlignedBuffer::allocate(buffer_bytes_, kPoolAlignment));
   }
   return index;
 }
@@ -152,7 +157,7 @@ void AsyncWriter::trim_pool_locked() {
          !free_buffers_.empty()) {
     const int index = free_buffers_.back();
     free_buffers_.pop_back();
-    pool_[index].reset();
+    pool_[index] = AlignedBuffer{};
     retired_slots_.push_back(index);
     --allocated_;
   }

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/aligned_buffer.hpp"
 #include "common/queue.hpp"
 #include "storage/device.hpp"
 
@@ -134,8 +135,10 @@ class AsyncWriter {
   // live stream owns one extra fill buffer (allocated at begin, retired
   // at release), so producers waiting for a replacement buffer always
   // sit behind in-flight work the writer thread is guaranteed to drain —
-  // any number of concurrent streams stays deadlock-free.
-  std::vector<std::unique_ptr<std::byte[]>> pool_;
+  // any number of concurrent streams stays deadlock-free. Buffers are
+  // I/O-aligned so a real-backend device can take full-buffer flushes
+  // through its O_DIRECT path without bouncing.
+  std::vector<AlignedBuffer> pool_;
   std::vector<int> free_buffers_;
   std::vector<int> retired_slots_;
   std::size_t allocated_ = 0;

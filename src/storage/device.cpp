@@ -81,14 +81,134 @@ std::uint64_t DeviceModel::write_service_ns(std::uint64_t bytes,
   return (seek ? seek_ns : 0) + transfer_ns(bytes, write_mb_s);
 }
 
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kModelled:
+      return "modelled";
+    case BackendKind::kReal:
+      return "real";
+  }
+  return "?";
+}
+
+BackendKind backend_kind_from_string(const std::string& s) {
+  if (s == "modelled") return BackendKind::kModelled;
+  if (s == "real") return BackendKind::kReal;
+  throw IoError("unknown storage backend \"" + s +
+                "\" (expected modelled|real)");
+}
+
+// ----------------------------------------------------------- IoBackend
+
+int IoBackend::fd(const File& f) { return f.fd_; }
+int IoBackend::direct_fd(const File& f) { return f.direct_fd_; }
+std::uint64_t IoBackend::file_id(const File& f) { return f.id_; }
+
+void IoBackend::charge(Device& d, bool is_write, std::uint64_t file_id,
+                       std::uint64_t offset, std::uint64_t bytes) {
+  d.charge(is_write, file_id, offset, bytes);
+}
+
+void IoBackend::account_measured(Device& d, bool is_write,
+                                 std::uint64_t file_id, std::uint64_t offset,
+                                 std::uint64_t bytes,
+                                 std::uint64_t measured_ns) {
+  d.account_measured(is_write, file_id, offset, bytes, measured_ns);
+}
+
+namespace {
+
+// The token-bucket simulation: plain buffered syscalls, with every
+// transfer charged to the device timeline. This is byte-for-byte and
+// stat-for-stat the pre-seam Device behavior — the modelled IoStats
+// numbers are load-bearing across DESIGN invariants and BENCH history,
+// so nothing here may reorder or merge charges.
+class ModelledBackend final : public IoBackend {
+ public:
+  explicit ModelledBackend(Device& device) : device_(device) {}
+
+  BackendKind kind() const override { return BackendKind::kModelled; }
+  std::string describe() const override { return "modelled"; }
+
+  void open_file(const std::string& path, bool truncate, int* fd,
+                 int* direct_fd) override {
+    int flags = O_RDWR | O_CLOEXEC;
+    if (truncate) flags |= O_CREAT | O_TRUNC;
+    *fd = ::open(path.c_str(), flags, 0644);
+    if (*fd < 0) throw_errno("open " + path);
+    *direct_fd = -1;
+  }
+
+  std::size_t read_at(File& file, std::uint64_t offset, void* dst,
+                      std::size_t bytes) override {
+    std::size_t total = 0;
+    auto* out = static_cast<char*>(dst);
+    while (total < bytes) {
+      const ssize_t n = ::pread(fd(file), out + total, bytes - total,
+                                static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pread " + file.path());
+      }
+      if (n == 0) break;  // end of file
+      total += static_cast<std::size_t>(n);
+    }
+    // Zero-byte transfers (EOF probes) never reach a disk; don't account
+    // them, so byte and op counters stay exactly the logical traffic.
+    if (total > 0) {
+      charge(device_, /*is_write=*/false, file_id(file), offset, total);
+    }
+    return total;
+  }
+
+  void write_at(File& file, std::uint64_t offset, const void* src,
+                std::size_t bytes) override {
+    charge(device_, /*is_write=*/true, file_id(file), offset, bytes);
+    std::size_t total = 0;
+    const auto* in = static_cast<const char*>(src);
+    while (total < bytes) {
+      const ssize_t n = ::pwrite(fd(file), in + total, bytes - total,
+                                 static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pwrite " + file.path());
+      }
+      total += static_cast<std::size_t>(n);
+    }
+  }
+
+  void read_batch(std::span<ReadRequest> requests) override {
+    // In submission order, one charge per request: stats identical to
+    // the caller issuing the reads itself.
+    for (ReadRequest& r : requests) {
+      r.got = read_at(*r.file, r.offset, r.dst, r.bytes);
+    }
+  }
+
+  void sync(File& file) override {
+    if (::fdatasync(fd(file)) != 0) throw_errno("fdatasync " + file.path());
+  }
+
+ private:
+  Device& device_;
+};
+
+}  // namespace
+
 // ---------------------------------------------------------------- File
 
-File::File(Device* device, std::string name, int fd, std::uint64_t id,
-           std::uint64_t size)
-    : device_(device), name_(std::move(name)), fd_(fd), id_(id), size_(size) {}
+File::File(Device* device, std::string name, int fd, int direct_fd,
+           std::uint64_t id, std::uint64_t size)
+    : device_(device),
+      name_(std::move(name)),
+      fd_(fd),
+      direct_fd_(direct_fd),
+      id_(id),
+      size_(size) {}
 
 File::~File() {
   if (fd_ >= 0) ::close(fd_);
+  if (direct_fd_ >= 0) ::close(direct_fd_);
 }
 
 std::string File::path() const { return device_->path(name_); }
@@ -99,40 +219,14 @@ std::uint64_t File::size() const {
 
 std::size_t File::read_at(std::uint64_t offset, void* dst,
                           std::size_t bytes) {
-  std::size_t total = 0;
-  auto* out = static_cast<char*>(dst);
-  while (total < bytes) {
-    const ssize_t n = ::pread(fd_, out + total, bytes - total,
-                              static_cast<off_t>(offset + total));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("pread " + path());
-    }
-    if (n == 0) break;  // end of file
-    total += static_cast<std::size_t>(n);
-  }
-  // Zero-byte transfers (EOF probes) never reach a disk; don't account
-  // them, so byte and op counters stay exactly the logical traffic.
-  if (total > 0) device_->charge(/*is_write=*/false, id_, offset, total);
-  return total;
+  return device_->backend_->read_at(*this, offset, dst, bytes);
 }
 
 void File::write_at(std::uint64_t offset, const void* src,
                     std::size_t bytes) {
   if (bytes == 0) return;
   device_->consume_write_fault(name_);
-  device_->charge(/*is_write=*/true, id_, offset, bytes);
-  std::size_t total = 0;
-  const auto* in = static_cast<const char*>(src);
-  while (total < bytes) {
-    const ssize_t n = ::pwrite(fd_, in + total, bytes - total,
-                               static_cast<off_t>(offset + total));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("pwrite " + path());
-    }
-    total += static_cast<std::size_t>(n);
-  }
+  device_->backend_->write_at(*this, offset, src, bytes);
   std::lock_guard<std::mutex> lock(size_mutex_);
   if (offset + bytes > size_.load(std::memory_order_relaxed)) {
     size_.store(offset + bytes, std::memory_order_release);
@@ -150,18 +244,7 @@ std::uint64_t File::append(const void* src, std::size_t bytes) {
   }
   try {
     device_->consume_write_fault(name_);
-    device_->charge(/*is_write=*/true, id_, offset, bytes);
-    std::size_t total = 0;
-    const auto* in = static_cast<const char*>(src);
-    while (total < bytes) {
-      const ssize_t n = ::pwrite(fd_, in + total, bytes - total,
-                                 static_cast<off_t>(offset + total));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw_errno("pwrite " + path());
-      }
-      total += static_cast<std::size_t>(n);
-    }
+    device_->backend_->write_at(*this, offset, src, bytes);
   } catch (...) {
     std::lock_guard<std::mutex> lock(size_mutex_);
     // Roll back a reservation still at the tail (the common case).
@@ -173,36 +256,48 @@ std::uint64_t File::append(const void* src, std::size_t bytes) {
   return offset;
 }
 
-void File::sync() {
-  if (::fdatasync(fd_) != 0) throw_errno("fdatasync " + path());
-}
+void File::sync() { device_->backend_->sync(*this); }
 
 // -------------------------------------------------------------- Device
 
-Device::Device(std::string root_dir, DeviceModel model)
-    : root_(std::move(root_dir)), model_(std::move(model)) {
+Device::Device(std::string root_dir, DeviceModel model, BackendOptions backend)
+    : root_(std::move(root_dir)),
+      model_(std::move(model)),
+      backend_options_(backend) {
   std::error_code ec;
   std::filesystem::create_directories(root_, ec);
   FB_CHECK_MSG(!ec, "cannot create device root " << root_ << ": "
                                                  << ec.message());
+  // After the root exists: the real backend probes it for O_DIRECT.
+  if (backend_options_.kind == BackendKind::kReal) {
+    backend_ = make_real_backend(*this, backend_options_);
+  } else {
+    backend_ = std::make_unique<ModelledBackend>(*this);
+  }
 }
+
+Device::~Device() = default;
 
 std::string Device::path(const std::string& name) const {
   return root_ + "/" + name;
 }
 
 std::unique_ptr<File> Device::open(const std::string& name, bool truncate) {
-  int flags = O_RDWR | O_CLOEXEC;
-  if (truncate) flags |= O_CREAT | O_TRUNC;
-  const int fd = ::open(path(name).c_str(), flags, 0644);
-  if (fd < 0) throw_errno("open " + path(name));
+  int fd = -1;
+  int direct_fd = -1;
+  backend_->open_file(path(name), truncate, &fd, &direct_fd);
   const auto size = static_cast<std::uint64_t>(::lseek(fd, 0, SEEK_END));
   std::uint64_t id;
   {
     std::lock_guard<std::mutex> lock(schedule_mutex_);
     id = next_file_id_++;
   }
-  return std::unique_ptr<File>(new File(this, name, fd, id, size));
+  return std::unique_ptr<File>(
+      new File(this, name, fd, direct_fd, id, size));
+}
+
+void Device::read_batch(std::span<ReadRequest> requests) {
+  backend_->read_batch(requests);
 }
 
 bool Device::exists(const std::string& name) const {
@@ -290,6 +385,39 @@ void Device::charge(bool is_write, std::uint64_t file_id,
   // Sleep outside the lock: the modelled timeline serialises the device,
   // but accounting by other threads is never blocked behind a delay.
   if (must_sleep) std::this_thread::sleep_until(reservation_end);
+}
+
+void Device::account_measured(bool is_write, std::uint64_t file_id,
+                              std::uint64_t offset, std::uint64_t bytes,
+                              std::uint64_t measured_ns) {
+  {
+    std::lock_guard<std::mutex> lock(schedule_mutex_);
+    // Same head tracking as charge(): on a real device the seek counter
+    // becomes "non-sequential accesses", which is what the DeviceModel's
+    // seek term prices, so measured and modelled stats stay comparable.
+    const bool seek = !(head_file_ == file_id && head_offset_ == offset);
+    if (seek) stats_.record_seek();
+    head_file_ = file_id;
+    head_offset_ = offset + bytes;
+
+    // busy_ns: measured wall time. model_busy_ns: what the DeviceModel
+    // *predicts* for this op — every real run doubles as a
+    // measured-vs-modelled validation of the simulator.
+    const std::uint64_t model_ns = is_write
+                                       ? model_.write_service_ns(bytes, seek)
+                                       : model_.read_service_ns(bytes, seek);
+    stats_.record_busy(measured_ns, model_ns);
+    if (is_write) {
+      stats_.record_write(bytes);
+    } else {
+      stats_.record_read(bytes);
+    }
+  }
+  if (is_write) {
+    write_latency_.record(measured_ns);
+  } else {
+    read_latency_.record(measured_ns);
+  }
 }
 
 }  // namespace fbfs::io

@@ -27,28 +27,50 @@ PrefetchReader::~PrefetchReader() {
 void PrefetchReader::fetch_loop() {
   std::uint64_t offset = start_offset_;
   std::size_t index = 0;
+  std::vector<ReadRequest> requests;
   for (;;) {
+    // Free slots are consecutive in ring order starting at `index`:
+    // the fetcher fills and the consumer drains in the same order.
+    std::size_t free_count = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       slot_freed_.wait(lock, [&] { return stop_ || !slots_[index].full; });
       if (stop_) return;
+      while (free_count < slots_.size() &&
+             !slots_[(index + free_count) % slots_.size()].full) {
+        ++free_count;
+      }
     }
-    Slot& slot = slots_[index];
-    // The transfer (and its modelled device delay) runs outside the
-    // lock: this is the overlap the reader exists for.
-    const std::size_t got =
-        file_->read_at(offset, slot.data.data(), slot.data.size());
-    offset += got;
-    const bool eof = got < slot.data.size();
+    // The transfers (and any modelled device delay) run outside the
+    // lock: this is the overlap the reader exists for. All free slots
+    // go down as one batch — one ring submission on the real backend.
+    requests.clear();
+    for (std::size_t k = 0; k < free_count; ++k) {
+      Slot& slot = slots_[(index + k) % slots_.size()];
+      requests.push_back({file_, offset + k * slot.data.size(),
+                          slot.data.data(), slot.data.size(), 0});
+    }
+    file_->device().read_batch(requests);
+    bool eof = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      slot.size = got;
-      slot.full = got > 0;
-      if (eof) done_ = true;
+      for (std::size_t k = 0; k < free_count && !eof; ++k) {
+        Slot& slot = slots_[(index + k) % slots_.size()];
+        const std::size_t got = requests[k].got;
+        slot.size = got;
+        slot.full = got > 0;
+        offset += got;
+        // A short slot is EOF; later requests in this batch started
+        // past it and transferred nothing.
+        if (got < slot.data.size()) {
+          eof = true;
+          done_ = true;
+        }
+      }
     }
-    slot_filled_.notify_one();
+    slot_filled_.notify_all();
     if (eof) return;  // EOF snapshot: equivalence holds for static files
-    index = (index + 1) % slots_.size();
+    index = (index + free_count) % slots_.size();
   }
 }
 

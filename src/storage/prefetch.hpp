@@ -1,12 +1,21 @@
 // Read-ahead streaming: a background thread keeps the next buffer(s) of
 // a File in flight while the consumer drains the current one, so a
-// sequential scan never stalls on the modelled device (the engines'
-// dominant access pattern is exactly this scan — see ISSUE/ROADMAP
-// item 1 and the BFS I/O-overlap motivation in arXiv:2503.00430).
+// sequential scan never stalls on the device (the engines' dominant
+// access pattern is exactly this scan — see ISSUE/ROADMAP item 1 and
+// the BFS I/O-overlap motivation in arXiv:2503.00430).
+//
+// The reader is an N-deep ring (num_buffers >= 2; the old
+// double-buffering is the N = 2 case). Each fetch cycle gathers every
+// currently-free slot — they are always consecutive in ring order — and
+// submits them as ONE Device::read_batch: on the modelled backend that
+// is an in-order loop of read_at (stats unchanged), on the real backend
+// one io_uring submission with up to queue_depth reads in flight.
+// Sizing num_buffers to the device's queue depth is what turns the ring
+// into genuine parallel I/O.
 //
 // PrefetchReader is byte-for-byte equivalent to StreamReader on a file
 // that is not concurrently appended: same delivered bytes, same
-// position() semantics. Every transfer still goes through File::read_at,
+// position() semantics. Every transfer is still charged to the device,
 // so per-device IoStats stay exact — the fetcher may read up to
 // (num_buffers - 1) buffers past what the consumer ultimately consumes,
 // and those transfers are real, charged device operations, exactly like
@@ -33,7 +42,8 @@ namespace fbfs::io {
 class PrefetchReader {
  public:
   /// Streams from `offset` with `buffer_bytes` read-ahead granularity;
-  /// `num_buffers` (>= 2) buffers double-buffer the device.
+  /// `num_buffers` (>= 2) is the ring depth — each round of free slots
+  /// is submitted as one Device::read_batch.
   PrefetchReader(File& file, std::size_t buffer_bytes,
                  std::uint64_t offset = 0, std::size_t num_buffers = 2);
   ~PrefetchReader();

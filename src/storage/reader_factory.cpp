@@ -23,6 +23,8 @@ ReaderOptions reader_options_from_config(const Config& config) {
       config.get_enum_or("io.reader", {"plain", "prefetch"}, "plain"));
   opts.buffer_bytes = static_cast<std::size_t>(
       config.get_bytes_or("io.reader_buffer", opts.buffer_bytes));
+  opts.prefetch_depth = std::max<std::size_t>(
+      2, config.get_u64_or("io.prefetch_depth", opts.prefetch_depth));
   return opts;
 }
 
@@ -30,7 +32,7 @@ std::unique_ptr<ByteSource> open_stream_reader(File& file,
                                                const ReaderOptions& opts) {
   if (opts.mode == ReaderMode::kPrefetch) {
     return std::make_unique<detail::ByteSourceImpl<PrefetchReader>>(
-        nullptr, file, opts.buffer_bytes, opts.offset);
+        nullptr, file, opts.buffer_bytes, opts.offset, opts.prefetch_depth);
   }
   return std::make_unique<detail::ByteSourceImpl<StreamReader>>(
       nullptr, file, opts.buffer_bytes, opts.offset);
@@ -43,7 +45,8 @@ std::unique_ptr<ByteSource> open_stream_reader(Device& device,
   File& ref = *file;
   if (opts.mode == ReaderMode::kPrefetch) {
     return std::make_unique<detail::ByteSourceImpl<PrefetchReader>>(
-        std::move(file), ref, opts.buffer_bytes, opts.offset);
+        std::move(file), ref, opts.buffer_bytes, opts.offset,
+        opts.prefetch_depth);
   }
   return std::make_unique<detail::ByteSourceImpl<StreamReader>>(
       std::move(file), ref, opts.buffer_bytes, opts.offset);

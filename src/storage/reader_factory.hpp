@@ -15,6 +15,7 @@
 // handle), which lets many readers stream one open File concurrently.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <string>
@@ -39,17 +40,34 @@ struct ReaderOptions {
   ReaderMode mode = ReaderMode::kPlain;
   std::size_t buffer_bytes = 1 << 20;
   std::uint64_t offset = 0;
+  /// PrefetchReader ring depth (>= 2). The default keeps the historic
+  /// double-buffering — byte accounting of every existing modelled run
+  /// is unchanged. Size it to the device's queue depth to keep a real
+  /// backend's ring full (see BackendOptions::queue_depth).
+  std::size_t prefetch_depth = 2;
 
   static ReaderOptions plain(std::size_t buffer_bytes = 1 << 20) {
-    return {ReaderMode::kPlain, buffer_bytes, 0};
+    return {ReaderMode::kPlain, buffer_bytes, 0, 2};
   }
-  static ReaderOptions prefetch(std::size_t buffer_bytes = 1 << 20) {
-    return {ReaderMode::kPrefetch, buffer_bytes, 0};
+  static ReaderOptions prefetch(std::size_t buffer_bytes = 1 << 20,
+                                std::size_t depth = 2) {
+    return {ReaderMode::kPrefetch, buffer_bytes, 0, depth};
+  }
+
+  /// Prefetch depth matched to `device`'s backend: the configured queue
+  /// depth on a real device, the default double-buffering on a modelled
+  /// one (where extra slots buy nothing — the timeline is serial).
+  ReaderOptions& match_device(const Device& device) {
+    if (device.backend_kind() == BackendKind::kReal) {
+      prefetch_depth =
+          std::max<std::size_t>(2, device.backend_options().queue_depth);
+    }
+    return *this;
   }
 };
 
-/// Reads `io.reader` (plain | prefetch) and `io.reader_buffer` (byte
-/// size) with the defaults above.
+/// Reads `io.reader` (plain | prefetch), `io.reader_buffer` (byte size)
+/// and `io.prefetch_depth` (ring depth) with the defaults above.
 ReaderOptions reader_options_from_config(const Config& config);
 
 /// Type-erased StreamReader/PrefetchReader: `read` is short only at end
@@ -79,9 +97,12 @@ namespace detail {
 template <typename Reader>
 class ByteSourceImpl final : public ByteSource {
  public:
+  template <typename... Extra>
   ByteSourceImpl(std::unique_ptr<File> owned, File& file,
-                 std::size_t buffer_bytes, std::uint64_t offset)
-      : owned_(std::move(owned)), reader_(file, buffer_bytes, offset) {}
+                 std::size_t buffer_bytes, std::uint64_t offset,
+                 Extra... extra)
+      : owned_(std::move(owned)),
+        reader_(file, buffer_bytes, offset, extra...) {}
 
   std::size_t read(void* dst, std::size_t bytes) override {
     return reader_.read(dst, bytes);
@@ -96,9 +117,12 @@ class ByteSourceImpl final : public ByteSource {
 template <typename T, typename Reader>
 class RecordSourceImpl final : public RecordSource<T> {
  public:
+  template <typename... Extra>
   RecordSourceImpl(std::unique_ptr<File> owned, File& file,
-                   std::size_t buffer_bytes, std::uint64_t offset)
-      : owned_(std::move(owned)), reader_(file, buffer_bytes, offset) {}
+                   std::size_t buffer_bytes, std::uint64_t offset,
+                   Extra... extra)
+      : owned_(std::move(owned)),
+        reader_(file, buffer_bytes, offset, extra...) {}
 
   bool next(T& out) override { return reader_.next(out); }
   std::span<const T> next_batch() override { return reader_.next_batch(); }
@@ -124,7 +148,7 @@ std::unique_ptr<RecordSource<T>> open_record_reader(File& file,
                                                     const ReaderOptions& opts) {
   if (opts.mode == ReaderMode::kPrefetch) {
     return std::make_unique<detail::RecordSourceImpl<T, PrefetchReader>>(
-        nullptr, file, opts.buffer_bytes, opts.offset);
+        nullptr, file, opts.buffer_bytes, opts.offset, opts.prefetch_depth);
   }
   return std::make_unique<detail::RecordSourceImpl<T, StreamReader>>(
       nullptr, file, opts.buffer_bytes, opts.offset);
@@ -139,7 +163,8 @@ std::unique_ptr<RecordSource<T>> open_record_reader(Device& device,
   File& ref = *file;
   if (opts.mode == ReaderMode::kPrefetch) {
     return std::make_unique<detail::RecordSourceImpl<T, PrefetchReader>>(
-        std::move(file), ref, opts.buffer_bytes, opts.offset);
+        std::move(file), ref, opts.buffer_bytes, opts.offset,
+        opts.prefetch_depth);
   }
   return std::make_unique<detail::RecordSourceImpl<T, StreamReader>>(
       std::move(file), ref, opts.buffer_bytes, opts.offset);

@@ -1,0 +1,702 @@
+// RealBackend: measured I/O on the host filesystem.
+//
+// Three capability tiers, probed once at construction and degraded
+// gracefully (describe() reports which are live):
+//
+//  * O_DIRECT — every File gets a second fd opened O_DIRECT; reads
+//    bypass the page cache so the numbers are the disk's, not the
+//    kernel's. Direct transfers need offset/length/buffer alignment, so
+//    unaligned requests bounce through an AlignedBufferPool and the
+//    logical slice is copied out. Filesystems that refuse O_DIRECT
+//    (tmpfs in CI) fall back to buffered I/O + posix_fadvise(DONTNEED),
+//    the closest cache-bypass approximation available there.
+//
+//  * io_uring — read_batch submits up to queue_depth positional reads
+//    as one ring submission, completing and resubmitting partial reads
+//    until the batch drains. Raw syscalls (io_uring_setup/enter + ring
+//    mmaps); the container has no liburing and the ABI is stable.
+//    Kernels without io_uring fall back to a synchronous pread loop.
+//
+//  * synchronous pread/pwrite — always available; also the single-op
+//    read_at/write_at path.
+//
+// Accounting: byte/op/seek counters stay exactly the logical traffic
+// (identical to the modelled backend); busy_ns records measured wall
+// time per op while model_busy_ns records the DeviceModel's prediction,
+// and per-op measured latency feeds the Device's LatencyHistograms.
+// Batch wall time is split across the batch's requests proportionally
+// to bytes transferred.
+//
+// O_DIRECT EOF tail: a direct pread of the last, partially-filled block
+// returns an unaligned count; continuing from the now-unaligned offset
+// would EINVAL. The read loops below treat any unaligned direct-read
+// count as end of file — which is the only place it can occur.
+#include "storage/device.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#define FBFS_HAVE_URING_ABI 1
+#else
+#define FBFS_HAVE_URING_ABI 0
+#endif
+
+#include "common/aligned_buffer.hpp"
+#include "common/log.hpp"
+
+namespace fbfs::io {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno_msg(const std::string& what, int err) {
+  throw IoError(what + ": " + std::strerror(err));
+}
+
+std::uint64_t elapsed_ns(steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          steady_clock::now() - since)
+          .count());
+}
+
+#if FBFS_HAVE_URING_ABI
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+/// One io_uring instance: SQ/CQ ring mmaps + SQE array, single-threaded
+/// use (RingPool hands each ring to one thread at a time). Only
+/// IORING_OP_READ is ever queued.
+class UringRing {
+ public:
+  struct Completion {
+    std::uint64_t user_data;
+    std::int32_t res;  // bytes read, or -errno
+  };
+
+  /// nullptr when the kernel lacks io_uring (or setup fails for any
+  /// reason — memlock limits, seccomp, ...).
+  static std::unique_ptr<UringRing> create(unsigned entries) {
+    io_uring_params p{};
+    const int fd = sys_io_uring_setup(entries, &p);
+    if (fd < 0) return nullptr;
+    auto ring = std::unique_ptr<UringRing>(new UringRing);
+    ring->ring_fd_ = fd;
+    ring->sq_entries_ = p.sq_entries;
+
+    std::size_t sq_size = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    std::size_t cq_size = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_size = cq_size = std::max(sq_size, cq_size);
+
+    ring->sq_size_ = sq_size;
+    ring->sq_ptr_ = ::mmap(nullptr, sq_size, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (ring->sq_ptr_ == MAP_FAILED) return (ring->sq_ptr_ = nullptr), nullptr;
+    if (single_mmap) {
+      ring->cq_ptr_ = ring->sq_ptr_;
+      ring->cq_size_ = 0;  // shared mapping, unmapped via sq_ptr_
+    } else {
+      ring->cq_size_ = cq_size;
+      ring->cq_ptr_ = ::mmap(nullptr, cq_size, PROT_READ | PROT_WRITE,
+                             MAP_SHARED | MAP_POPULATE, fd,
+                             IORING_OFF_CQ_RING);
+      if (ring->cq_ptr_ == MAP_FAILED) {
+        return (ring->cq_ptr_ = nullptr), nullptr;
+      }
+    }
+    ring->sqes_size_ = p.sq_entries * sizeof(io_uring_sqe);
+    void* sqes = ::mmap(nullptr, ring->sqes_size_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) return nullptr;
+    ring->sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+    auto* sq = static_cast<char*>(ring->sq_ptr_);
+    ring->sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    ring->sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    ring->sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    ring->sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<char*>(ring->cq_ptr_);
+    ring->cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    ring->cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    ring->cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    ring->cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return ring;
+  }
+
+  ~UringRing() {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+    if (cq_ptr_ != nullptr && cq_size_ != 0) ::munmap(cq_ptr_, cq_size_);
+    if (sq_ptr_ != nullptr) ::munmap(sq_ptr_, sq_size_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  unsigned depth() const { return sq_entries_; }
+
+  bool can_push() const {
+    const unsigned head =
+        std::atomic_ref<unsigned>(*sq_head_).load(std::memory_order_acquire);
+    const unsigned tail = *sq_tail_;
+    return tail - head < sq_entries_;
+  }
+
+  /// Queues one positional read; caller guarantees can_push().
+  void push_read(int fd, void* buf, unsigned len, std::uint64_t off,
+                 std::uint64_t user_data) {
+    const unsigned tail = *sq_tail_;
+    const unsigned idx = tail & sq_mask_;
+    io_uring_sqe& sqe = sqes_[idx];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = IORING_OP_READ;
+    sqe.fd = fd;
+    sqe.addr = reinterpret_cast<std::uint64_t>(buf);
+    sqe.len = len;
+    sqe.off = off;
+    sqe.user_data = user_data;
+    sq_array_[idx] = idx;
+    std::atomic_ref<unsigned>(*sq_tail_).store(tail + 1,
+                                               std::memory_order_release);
+    ++to_submit_;
+  }
+
+  /// Submits queued SQEs and, when `min_complete` > 0, blocks for at
+  /// least that many completions; reaps everything available into
+  /// `out`. Throws IoError if the kernel rejects the submission itself.
+  void submit_and_wait(unsigned min_complete, std::vector<Completion>& out) {
+    out.clear();
+    while (true) {
+      const int ret =
+          sys_io_uring_enter(ring_fd_, to_submit_, min_complete,
+                             min_complete > 0 ? IORING_ENTER_GETEVENTS : 0);
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        throw_errno_msg("io_uring_enter", errno);
+      }
+      to_submit_ -= static_cast<unsigned>(ret);
+      break;
+    }
+
+    unsigned head = *cq_head_;
+    const unsigned tail =
+        std::atomic_ref<unsigned>(*cq_tail_).load(std::memory_order_acquire);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      out.push_back({cqe.user_data, cqe.res});
+      ++head;
+    }
+    std::atomic_ref<unsigned>(*cq_head_).store(head,
+                                               std::memory_order_release);
+  }
+
+ private:
+  UringRing() = default;
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  void* sq_ptr_ = nullptr;
+  std::size_t sq_size_ = 0;
+  void* cq_ptr_ = nullptr;
+  std::size_t cq_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_size_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned to_submit_ = 0;
+};
+
+/// Rings are cheap to park and ~10us to create; concurrent batches each
+/// borrow one (single-threaded use per ring) and return it.
+class RingPool {
+ public:
+  explicit RingPool(unsigned depth) : depth_(depth) {}
+
+  std::unique_ptr<UringRing> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!pool_.empty()) {
+        auto ring = std::move(pool_.back());
+        pool_.pop_back();
+        return ring;
+      }
+    }
+    return UringRing::create(depth_);
+  }
+
+  void release(std::unique_ptr<UringRing> ring) {
+    if (ring == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pool_.size() < 8) pool_.push_back(std::move(ring));
+  }
+
+ private:
+  const unsigned depth_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<UringRing>> pool_;
+};
+
+#endif  // FBFS_HAVE_URING_ABI
+
+class RealBackend final : public IoBackend {
+ public:
+  RealBackend(Device& device, const BackendOptions& options)
+      : device_(device),
+        opts_(options),
+        align_(options.alignment == 0 ? 4096 : options.alignment),
+        queue_depth_(std::clamp(options.queue_depth, 1u, 256u)),
+        pool_(align_, /*max_cached=*/2 * queue_depth_ + 4)
+#if FBFS_HAVE_URING_ABI
+        ,
+        rings_(queue_depth_)
+#endif
+  {
+    direct_ok_ = opts_.direct_io && probe_direct();
+#if FBFS_HAVE_URING_ABI
+    if (opts_.use_uring) {
+      auto probe = rings_.acquire();
+      uring_ok_ = probe != nullptr;
+      rings_.release(std::move(probe));
+    }
+#endif
+    if (opts_.direct_io && !direct_ok_) {
+      FB_LOG_WARN << "device " << device_.root_dir()
+                  << ": filesystem refuses O_DIRECT, falling back to "
+                     "buffered I/O + posix_fadvise(DONTNEED)";
+    }
+  }
+
+  BackendKind kind() const override { return BackendKind::kReal; }
+
+  std::string describe() const override {
+    std::string out = "real(";
+    out += direct_ok_ ? "direct" : "buffered";
+    out += uring_ok_ ? "+uring qd=" + std::to_string(queue_depth_) : "+sync";
+    out += ")";
+    return out;
+  }
+
+  void open_file(const std::string& path, bool truncate, int* fd,
+                 int* direct_fd) override {
+    int flags = O_RDWR | O_CLOEXEC;
+    if (truncate) flags |= O_CREAT | O_TRUNC;
+    *fd = ::open(path.c_str(), flags, 0644);
+    if (*fd < 0) throw_errno_msg("open " + path, errno);
+    *direct_fd = -1;
+#ifdef O_DIRECT
+    if (direct_ok_) {
+      // The buffered open above already created the file; this one must
+      // not truncate (the two fds alias one inode).
+      *direct_fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC | O_DIRECT, 0644);
+      // A per-file refusal (probe passed, this open failed) silently
+      // degrades this File to the buffered path.
+    }
+#endif
+  }
+
+  std::size_t read_at(File& file, std::uint64_t offset, void* dst,
+                      std::size_t bytes) override {
+    if (bytes == 0) return 0;
+    const auto start = steady_clock::now();
+    const std::size_t total =
+        direct_fd(file) >= 0 ? direct_read(file, offset, dst, bytes)
+                             : buffered_read(file, offset, dst, bytes);
+    if (total > 0) {
+      account_measured(device_, /*is_write=*/false, file_id(file), offset,
+                       total, elapsed_ns(start));
+    }
+    return total;
+  }
+
+  void write_at(File& file, std::uint64_t offset, const void* src,
+                std::size_t bytes) override {
+    const auto start = steady_clock::now();
+    const bool aligned_op = offset % align_ == 0 && bytes % align_ == 0;
+    if (direct_fd(file) >= 0 && aligned_op) {
+      direct_write(file, offset, src, bytes);
+    } else {
+      buffered_write(file, offset, src, bytes);
+    }
+    account_measured(device_, /*is_write=*/true, file_id(file), offset, bytes,
+                     elapsed_ns(start));
+  }
+
+  void read_batch(std::span<ReadRequest> requests) override;
+
+  void sync(File& file) override {
+    if (::fdatasync(fd(file)) != 0) {
+      throw_errno_msg("fdatasync " + file.path(), errno);
+    }
+  }
+
+ private:
+  bool probe_direct() {
+#ifdef O_DIRECT
+    const std::string probe = device_.root_dir() + "/.fbfs_direct_probe";
+    const int fd = ::open(probe.c_str(),
+                          O_CREAT | O_RDWR | O_CLOEXEC | O_DIRECT, 0644);
+    ::unlink(probe.c_str());
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  std::size_t buffered_pread_loop(File& file, char* out, std::size_t bytes,
+                                  std::uint64_t offset) {
+    std::size_t total = 0;
+    while (total < bytes) {
+      const ssize_t n = ::pread(fd(file), out + total, bytes - total,
+                                static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno_msg("pread " + file.path(), errno);
+      }
+      if (n == 0) break;
+      total += static_cast<std::size_t>(n);
+    }
+    return total;
+  }
+
+  std::size_t buffered_read(File& file, std::uint64_t offset, void* dst,
+                            std::size_t bytes) {
+    const std::size_t total =
+        buffered_pread_loop(file, static_cast<char*>(dst), bytes, offset);
+    drop_cache(file, offset, total);
+    return total;
+  }
+
+  /// Direct pread loop; an unaligned count is the EOF tail (see file
+  /// header) and ends the read. EINVAL mid-stream degrades to the
+  /// buffered fd for the remainder.
+  std::size_t direct_pread_loop(File& file, char* out, std::size_t bytes,
+                                std::uint64_t offset) {
+    std::size_t total = 0;
+    while (total < bytes) {
+      const ssize_t n = ::pread(direct_fd(file), out + total, bytes - total,
+                                static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EINVAL) {
+          return total + buffered_pread_loop(file, out + total, bytes - total,
+                                             offset + total);
+        }
+        throw_errno_msg("pread(O_DIRECT) " + file.path(), errno);
+      }
+      if (n == 0) break;
+      total += static_cast<std::size_t>(n);
+      if (static_cast<std::size_t>(n) % align_ != 0) break;
+    }
+    return total;
+  }
+
+  std::size_t direct_read(File& file, std::uint64_t offset, void* dst,
+                          std::size_t bytes) {
+    const std::uint64_t mask = align_ - 1;
+    const std::uint64_t astart = offset & ~mask;
+    const std::uint64_t aend = (offset + bytes + mask) & ~mask;
+    const std::size_t span = static_cast<std::size_t>(aend - astart);
+    const bool in_place =
+        astart == offset && span == bytes &&
+        reinterpret_cast<std::uintptr_t>(dst) % align_ == 0;
+    if (in_place) {
+      return direct_pread_loop(file, static_cast<char*>(dst), bytes, offset);
+    }
+    AlignedBuffer buf = pool_.acquire(span);
+    const std::size_t got = direct_pread_loop(
+        file, reinterpret_cast<char*>(buf.data()), span, astart);
+    const std::size_t skip = static_cast<std::size_t>(offset - astart);
+    const std::size_t logical = got > skip ? std::min(bytes, got - skip) : 0;
+    if (logical > 0) std::memcpy(dst, buf.data() + skip, logical);
+    pool_.release(std::move(buf));
+    return logical;
+  }
+
+  void buffered_pwrite_loop(File& file, const char* in, std::size_t bytes,
+                            std::uint64_t offset) {
+    std::size_t total = 0;
+    while (total < bytes) {
+      const ssize_t n = ::pwrite(fd(file), in + total, bytes - total,
+                                 static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno_msg("pwrite " + file.path(), errno);
+      }
+      total += static_cast<std::size_t>(n);
+    }
+  }
+
+  void buffered_write(File& file, std::uint64_t offset, const void* src,
+                      std::size_t bytes) {
+    buffered_pwrite_loop(file, static_cast<const char*>(src), bytes, offset);
+    // Starts writeback and drops the clean pages: keeps the page cache
+    // from absorbing the write stream (the cache-bypass approximation on
+    // filesystems without O_DIRECT) and keeps later direct reads cheap.
+    drop_cache(file, offset, bytes);
+  }
+
+  void direct_write(File& file, std::uint64_t offset, const void* src,
+                    std::size_t bytes) {
+    const char* in = static_cast<const char*>(src);
+    AlignedBuffer bounce;
+    if (reinterpret_cast<std::uintptr_t>(src) % align_ != 0) {
+      bounce = pool_.acquire(bytes);
+      std::memcpy(bounce.data(), src, bytes);
+      in = reinterpret_cast<const char*>(bounce.data());
+    }
+    std::size_t total = 0;
+    while (total < bytes) {
+      const ssize_t n = ::pwrite(direct_fd(file), in + total, bytes - total,
+                                 static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EINVAL) {
+          buffered_pwrite_loop(file,
+                               static_cast<const char*>(src) + total,
+                               bytes - total, offset + total);
+          total = bytes;
+          break;
+        }
+        throw_errno_msg("pwrite(O_DIRECT) " + file.path(), errno);
+      }
+      total += static_cast<std::size_t>(n);
+      if (total < bytes && static_cast<std::size_t>(n) % align_ != 0) {
+        // Kernel stopped at an unaligned boundary; finish buffered.
+        buffered_pwrite_loop(file,
+                             static_cast<const char*>(src) + total,
+                             bytes - total, offset + total);
+        total = bytes;
+      }
+    }
+    if (!bounce.empty()) pool_.release(std::move(bounce));
+  }
+
+  void drop_cache(File& file, std::uint64_t offset, std::size_t bytes) {
+    if (bytes == 0) return;
+    ::posix_fadvise(fd(file), static_cast<off_t>(offset),
+                    static_cast<off_t>(bytes), POSIX_FADV_DONTNEED);
+  }
+
+  void sync_read_batch(std::span<ReadRequest> requests) {
+    for (ReadRequest& r : requests) {
+      r.got = read_at(*r.file, r.offset, r.dst, r.bytes);
+    }
+  }
+
+  Device& device_;
+  const BackendOptions opts_;
+  const std::size_t align_;
+  const unsigned queue_depth_;
+  AlignedBufferPool pool_;
+  bool direct_ok_ = false;
+  bool uring_ok_ = false;
+#if FBFS_HAVE_URING_ABI
+  RingPool rings_;
+#endif
+};
+
+#if FBFS_HAVE_URING_ABI
+
+/// Per-request in-flight state for a ring batch. Direct requests read
+/// an aligned superspan (bounced unless the caller's buffer already
+/// qualifies); buffered requests read straight into the caller's dst.
+struct BatchSlot {
+  ReadRequest* req = nullptr;
+  AlignedBuffer bounce;             // empty => reading in place
+  char* target = nullptr;           // where sub-reads land
+  int fd = -1;
+  bool direct = false;
+  std::uint64_t start = 0;          // first byte to read at target[0]
+  std::size_t span = 0;             // total bytes wanted at `start`
+  std::size_t done = 0;             // bytes transferred so far
+  bool finished = false;
+};
+
+#endif  // FBFS_HAVE_URING_ABI
+
+void RealBackend::read_batch(std::span<ReadRequest> requests) {
+  if (requests.empty()) return;
+#if FBFS_HAVE_URING_ABI
+  if (!uring_ok_ || requests.size() == 1) {
+    sync_read_batch(requests);
+    return;
+  }
+  auto ring = rings_.acquire();
+  if (ring == nullptr) {
+    sync_read_batch(requests);
+    return;
+  }
+  const auto batch_start = steady_clock::now();
+
+  std::vector<BatchSlot> slots;
+  slots.reserve(requests.size());
+  const std::uint64_t mask = align_ - 1;
+  for (ReadRequest& r : requests) {
+    r.got = 0;
+    if (r.bytes == 0) continue;
+    BatchSlot s;
+    s.req = &r;
+    s.direct = direct_fd(*r.file) >= 0;
+    if (s.direct) {
+      s.fd = direct_fd(*r.file);
+      s.start = r.offset & ~mask;
+      const std::uint64_t aend = (r.offset + r.bytes + mask) & ~mask;
+      s.span = static_cast<std::size_t>(aend - s.start);
+      const bool in_place =
+          s.start == r.offset && s.span == r.bytes &&
+          reinterpret_cast<std::uintptr_t>(r.dst) % align_ == 0;
+      if (in_place) {
+        s.target = static_cast<char*>(r.dst);
+      } else {
+        s.bounce = pool_.acquire(s.span);
+        s.target = reinterpret_cast<char*>(s.bounce.data());
+      }
+    } else {
+      s.fd = fd(*r.file);
+      s.start = r.offset;
+      s.span = r.bytes;
+      s.target = static_cast<char*>(r.dst);
+    }
+    slots.push_back(std::move(s));
+  }
+
+  auto finalize = [&](BatchSlot& s) {
+    s.finished = true;
+    ReadRequest& r = *s.req;
+    if (!s.bounce.empty()) {
+      const std::size_t skip = static_cast<std::size_t>(r.offset - s.start);
+      const std::size_t logical =
+          s.done > skip ? std::min(r.bytes, s.done - skip) : 0;
+      if (logical > 0) std::memcpy(r.dst, s.bounce.data() + skip, logical);
+      r.got = logical;
+      pool_.release(std::move(s.bounce));
+    } else {
+      r.got = std::min(s.done, r.bytes);
+    }
+    if (!s.direct) drop_cache(*r.file, r.offset, r.got);
+  };
+
+  // Fill the ring up to queue_depth, reap, resubmit partial reads until
+  // every slot has drained. On a hard error: stop feeding, drain what
+  // is in flight (the kernel still owns those buffers), then throw.
+  std::vector<UringRing::Completion> completions;
+  std::size_t next = 0;    // next slot to enter the ring
+  unsigned in_flight = 0;
+  std::string error;
+  try {
+    while (next < slots.size() || in_flight > 0) {
+      while (error.empty() && next < slots.size() &&
+             in_flight < queue_depth_ && ring->can_push()) {
+        BatchSlot& s = slots[next];
+        ring->push_read(s.fd, s.target + s.done,
+                        static_cast<unsigned>(s.span - s.done),
+                        s.start + s.done, next);
+        ++next;
+        ++in_flight;
+      }
+      if (in_flight == 0) break;
+      ring->submit_and_wait(/*min_complete=*/1, completions);
+      for (const auto& c : completions) {
+        BatchSlot& s = slots[c.user_data];
+        --in_flight;
+        if (!error.empty()) {
+          // Draining after a failure: just retire the slot.
+          if (!s.finished) finalize(s);
+          continue;
+        }
+        if (c.res < 0) {
+          if (c.res == -EINTR || c.res == -EAGAIN) {
+            ring->push_read(s.fd, s.target + s.done,
+                            static_cast<unsigned>(s.span - s.done),
+                            s.start + s.done, c.user_data);
+            ++in_flight;
+            continue;
+          }
+          if (c.res == -EINVAL && s.direct) {
+            // Direct refusal inside the ring: finish this slot via the
+            // buffered fd, synchronously.
+            s.done += buffered_pread_loop(*s.req->file, s.target + s.done,
+                                          s.span - s.done, s.start + s.done);
+            finalize(s);
+            continue;
+          }
+          error = std::string("io_uring read ") + s.req->file->path() + ": " +
+                  std::strerror(-c.res);
+          finalize(s);
+          continue;
+        }
+        const auto n = static_cast<std::size_t>(c.res);
+        s.done += n;
+        const bool eof = n == 0 || (s.direct && n % align_ != 0);
+        if (s.done >= s.span || eof) {
+          finalize(s);
+        } else {
+          ring->push_read(s.fd, s.target + s.done,
+                          static_cast<unsigned>(s.span - s.done),
+                          s.start + s.done, c.user_data);
+          ++in_flight;
+        }
+      }
+    }
+  } catch (...) {
+    rings_.release(std::move(ring));
+    throw;
+  }
+  rings_.release(std::move(ring));
+  if (!error.empty()) throw IoError(error);
+
+  // Split the batch's wall time across its requests proportionally to
+  // bytes, so per-op latency and busy_ns stay meaningful.
+  const std::uint64_t total_ns = elapsed_ns(batch_start);
+  std::uint64_t total_got = 0;
+  for (const ReadRequest& r : requests) total_got += r.got;
+  for (const ReadRequest& r : requests) {
+    if (r.got == 0) continue;
+    const std::uint64_t share =
+        total_got == 0 ? 0
+                       : static_cast<std::uint64_t>(
+                             static_cast<double>(total_ns) *
+                             static_cast<double>(r.got) /
+                             static_cast<double>(total_got));
+    account_measured(device_, /*is_write=*/false, file_id(*r.file), r.offset,
+                     r.got, share);
+  }
+#else
+  sync_read_batch(requests);
+#endif
+}
+
+}  // namespace
+
+std::unique_ptr<IoBackend> make_real_backend(Device& device,
+                                             const BackendOptions& options) {
+  return std::make_unique<RealBackend>(device, options);
+}
+
+}  // namespace fbfs::io

@@ -18,6 +18,29 @@ const char* to_string(Role role) {
   return "?";
 }
 
+BackendOptions backend_options_from_config(const Config& config) {
+  BackendOptions opts;
+  opts.kind = backend_kind_from_string(
+      config.get_enum_or("storage.backend", {"modelled", "real"}, "modelled"));
+  opts.direct_io = config.get_bool_or("storage.direct_io", opts.direct_io);
+  opts.use_uring = config.get_bool_or("storage.uring", opts.use_uring);
+  opts.queue_depth = static_cast<unsigned>(
+      config.get_u64_or("storage.queue_depth", opts.queue_depth));
+  opts.alignment = static_cast<std::size_t>(
+      config.get_bytes_or("storage.alignment", opts.alignment));
+  return opts;
+}
+
+BackendOptions backend_options_from_config(const Config& config, Role role) {
+  BackendOptions opts = backend_options_from_config(config);
+  const std::string key = std::string("storage.backend.") + to_string(role);
+  if (config.has(key)) {
+    opts.kind = backend_kind_from_string(
+        config.get_enum(key, {"modelled", "real"}));
+  }
+  return opts;
+}
+
 StoragePlan StoragePlan::single(Device& device) {
   StoragePlan plan;
   plan.devices_.fill(&device);

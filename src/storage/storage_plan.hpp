@@ -16,6 +16,7 @@
 #include <array>
 #include <cstddef>
 
+#include "common/config.hpp"
 #include "storage/device.hpp"
 #include "storage/io_stats.hpp"
 
@@ -30,6 +31,19 @@ enum class Role : std::size_t {
 inline constexpr std::size_t kNumRoles = 4;
 
 const char* to_string(Role role);
+
+/// Backend selection from the `storage.*` config keys: `storage.backend`
+/// (modelled | real), `storage.direct_io`, `storage.uring`,
+/// `storage.queue_depth`, `storage.alignment` — defaults are
+/// BackendOptions{} (modelled; tuning keys only matter for real).
+BackendOptions backend_options_from_config(const Config& config);
+
+/// Same, then applies the per-role override `storage.backend.<role>`
+/// (e.g. `storage.backend.updates = real` puts only the update streams
+/// on a measured device while everything else stays modelled). Feed the
+/// result to the Device constructed for that role before handing it to
+/// StoragePlan::assign.
+BackendOptions backend_options_from_config(const Config& config, Role role);
 
 class StoragePlan {
  public:

@@ -157,18 +157,21 @@ class RecordWriter {
 
 /// Typed sequential reader over any byte stream with the StreamReader
 /// interface — `read(void*, size_t)` (short only at end of stream) and a
-/// `(File&, std::size_t, std::uint64_t)` constructor. The file length
-/// past the start offset must be a whole number of records: a truncated
-/// trailing record is a CHECK failure at EOF, never silently dropped.
+/// `(File&, std::size_t, std::uint64_t, ...)` constructor; trailing
+/// `extra` arguments are forwarded to the stream (PrefetchReader's ring
+/// depth). The file length past the start offset must be a whole number
+/// of records: a truncated trailing record is a CHECK failure at EOF,
+/// never silently dropped.
 template <typename T, typename ByteStream>
 class BasicRecordReader {
  public:
   static_assert(std::is_trivially_copyable_v<T>);
 
-  BasicRecordReader(File& file, std::size_t buffer_bytes,
-                    std::uint64_t offset = 0)
+  template <typename... Extra>
+  explicit BasicRecordReader(File& file, std::size_t buffer_bytes,
+                             std::uint64_t offset = 0, Extra... extra)
       : bytes_(file, buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes,
-               offset),
+               offset, extra...),
         batch_((buffer_bytes < sizeof(T) ? sizeof(T) : buffer_bytes) /
                sizeof(T)) {
     FB_CHECK_MSG(offset % sizeof(T) == 0,

@@ -438,6 +438,10 @@ ScatterResult scatter_partition(
   if (!exec.parallel()) {
     io::ReaderOptions opts = reader;
     opts.offset = base_offset;
+    // Prefetch mode sizes its ring to a real device's queue depth (the
+    // fetcher submits all free slots as one ring batch); on the
+    // modelled device this keeps the historical double-buffering.
+    opts.match_device(input_dev);
     auto edges =
         io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
     ScatterStage<P> stage(program, layout, sieve_updates);
@@ -466,71 +470,106 @@ ScatterResult scatter_partition(
       1, reader.buffer_bytes / sizeof(graph::Edge));
   const std::uint64_t num_chunks =
       (num_records + chunk_records - 1) / chunk_records;
+  // On a real-backend device a task owns a run of consecutive chunks
+  // and submits their positional reads as ONE ring batch (queue_depth
+  // reads in flight per submission). The modelled timeline is serial,
+  // so groups stay size 1 there and the per-chunk read/charge sequence
+  // is exactly the historical one.
+  const std::uint64_t group_chunks =
+      input_dev.backend_kind() == io::BackendKind::kReal
+          ? std::max<std::uint64_t>(1, input_dev.backend_options().queue_depth)
+          : 1;
+  const std::uint64_t num_groups =
+      num_chunks == 0 ? 0 : (num_chunks + group_chunks - 1) / group_chunks;
   OrderedGate gate;
   std::atomic<std::uint64_t> scanned{0};
   std::atomic<std::uint64_t> emitted{0};
   std::atomic<std::uint64_t> sieved{0};
-  std::vector<std::future<void>> chunks;
-  chunks.reserve(num_chunks);
-  for (std::uint64_t c = 0; c < num_chunks; ++c) {
-    chunks.push_back(exec.pool->submit([&, c] {
-      const std::uint64_t first = c * chunk_records;
-      const std::uint64_t count =
-          std::min(chunk_records, num_records - first);
-      ScatterStage<P> stage(program, layout, sieve_updates);
-      auto chunk = trim.make_chunk_state();
+  std::vector<std::future<void>> groups;
+  groups.reserve(num_groups);
+  for (std::uint64_t g = 0; g < num_groups; ++g) {
+    groups.push_back(exec.pool->submit([&, g] {
+      const std::uint64_t first_chunk = g * group_chunks;
+      const std::uint64_t n_chunks =
+          std::min(group_chunks, num_chunks - first_chunk);
+      // Completes tickets `from` .. end-of-group so the ordered
+      // hand-off chain stays alive when this task throws; join_all
+      // surfaces the failure.
+      const auto abandon_from = [&](std::uint64_t from) {
+        for (std::uint64_t c = from; c < first_chunk + n_chunks; ++c) {
+          gate.wait_turn(c);
+          gate.complete(c);
+        }
+      };
+      // Each chunk is still one positional read on its own File (the
+      // modelled head/seek accounting cannot tell batched submission
+      // from the old per-chunk readers); the group's reads go down as a
+      // single read_batch.
+      std::vector<std::unique_ptr<io::File>> files;
+      std::vector<std::vector<graph::Edge>> buffers(n_chunks);
       try {
-        // Each chunk is one positional read: a plain reader whose
-        // buffer covers exactly this slice (parallel chunks replace the
-        // serial read-ahead, so prefetch mode is not layered on top).
-        io::ReaderOptions opts = reader;
-        opts.mode = io::ReaderMode::kPlain;
-        opts.offset = base_offset + first * sizeof(graph::Edge);
-        opts.buffer_bytes =
-            static_cast<std::size_t>(count * sizeof(graph::Edge));
-        auto edges =
-            io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
-        std::uint64_t remaining = count;
-        while (remaining > 0) {
-          auto batch = edges->next_batch();
-          FB_CHECK_MSG(!batch.empty(),
-                       input_name << " ends inside chunk " << c << " ("
-                                  << remaining << " records short)");
-          const std::size_t take = static_cast<std::size_t>(
-              std::min<std::uint64_t>(batch.size(), remaining));
-          stage.process(batch.subspan(0, take), part_begin, states, active,
-                        trim, chunk);
-          remaining -= take;
+        std::vector<io::ReadRequest> requests;
+        files.reserve(n_chunks);
+        requests.reserve(n_chunks);
+        for (std::uint64_t k = 0; k < n_chunks; ++k) {
+          const std::uint64_t first = (first_chunk + k) * chunk_records;
+          const std::uint64_t count =
+              std::min(chunk_records, num_records - first);
+          buffers[k].resize(static_cast<std::size_t>(count));
+          files.push_back(input_dev.open(input_name));
+          requests.push_back(
+              {files.back().get(),
+               base_offset + first * sizeof(graph::Edge), buffers[k].data(),
+               static_cast<std::size_t>(count * sizeof(graph::Edge)), 0});
+        }
+        input_dev.read_batch(requests);
+        for (std::uint64_t k = 0; k < n_chunks; ++k) {
+          FB_CHECK_MSG(requests[k].got == requests[k].bytes,
+                       input_name << " ends inside chunk " << first_chunk + k
+                                  << " (" << (requests[k].bytes -
+                                              requests[k].got)
+                                  << " bytes short)");
         }
       } catch (...) {
-        // Keep the hand-off chain alive for later tickets, then let
-        // join_all surface the failure.
+        abandon_from(first_chunk);
+        throw;
+      }
+      for (std::uint64_t k = 0; k < n_chunks; ++k) {
+        const std::uint64_t c = first_chunk + k;
+        const std::uint64_t count = buffers[k].size();
+        ScatterStage<P> stage(program, layout, sieve_updates);
+        auto chunk = trim.make_chunk_state();
+        try {
+          stage.process(std::span<const graph::Edge>(buffers[k]), part_begin,
+                        states, active, trim, chunk);
+        } catch (...) {
+          abandon_from(c);
+          throw;
+        }
         gate.wait_turn(c);
+        try {
+          metrics::ScopedPhase flush_timer(collector,
+                                           metrics::Phase::kShuffleFlush);
+          stage.flush_locked(fanout);
+          trim.flush(chunk);
+        } catch (...) {
+          gate.complete(c);
+          abandon_from(c + 1);
+          throw;
+        }
         gate.complete(c);
-        throw;
-      }
-      gate.wait_turn(c);
-      try {
-        metrics::ScopedPhase flush_timer(collector,
-                                         metrics::Phase::kShuffleFlush);
-        stage.flush_locked(fanout);
-        trim.flush(chunk);
-      } catch (...) {
-        gate.complete(c);
-        throw;
-      }
-      gate.complete(c);
-      scanned.fetch_add(count, std::memory_order_relaxed);
-      emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
-      sieved.fetch_add(stage.sieved, std::memory_order_relaxed);
-      if (collector != nullptr) {
-        collector->live().add_edges_scanned(count);
-        collector->live().add_edges_probed(count);
-        collector->live().add_updates(stage.emitted, stage.sieved);
+        scanned.fetch_add(count, std::memory_order_relaxed);
+        emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
+        sieved.fetch_add(stage.sieved, std::memory_order_relaxed);
+        if (collector != nullptr) {
+          collector->live().add_edges_scanned(count);
+          collector->live().add_edges_probed(count);
+          collector->live().add_updates(stage.emitted, stage.sieved);
+        }
       }
     }));
   }
-  join_all(chunks);
+  join_all(groups);
   const std::uint64_t total = scanned.load(std::memory_order_relaxed);
   return {total, emitted.load(std::memory_order_relaxed),
           sieved.load(std::memory_order_relaxed), total};
@@ -766,61 +805,85 @@ ScatterResult pull_partition(
     }
   }
 
-  // Reads one unit and pulls its blocks into `stage`.
-  const auto process_unit = [&](const ReadUnit& unit, ScatterStage<P>& stage,
-                                std::uint64_t& scanned, std::uint64_t& probed) {
-    const std::uint64_t first_record = unit.first_block * kBlock;
-    std::uint64_t unit_records = 0;
-    for (std::uint64_t b = 0; b < unit.num_blocks; ++b) {
-      unit_records += block_count(unit.first_block + b);
-    }
-    io::ReaderOptions opts = reader;
-    opts.mode = io::ReaderMode::kPlain;
-    opts.offset = first_record * sizeof(graph::Edge);
-    opts.buffer_bytes =
-        static_cast<std::size_t>(unit_records * sizeof(graph::Edge));
-    auto edges =
-        io::open_record_reader<graph::Edge>(input_dev, input_name, opts);
-    std::uint64_t block = unit.first_block;
-    std::uint64_t into_block = 0;
-    std::uint64_t remaining = unit_records;
-    while (remaining > 0) {
-      auto batch = edges->next_batch();
-      FB_CHECK_MSG(!batch.empty(),
-                   input_name << " ends inside its block index ("
-                              << remaining << " records short)");
-      std::size_t off = 0;
-      const std::size_t take = static_cast<std::size_t>(
-          std::min<std::uint64_t>(batch.size(), remaining));
-      while (off < take) {
-        const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
-            block_count(block) - into_block, take - off));
-        process_block(batch.subspan(off, n), stage, probed);
-        off += n;
-        into_block += n;
-        if (into_block == block_count(block)) {
-          ++block;
-          into_block = 0;
+  // Reads units[first_unit .. first_unit+n) into per-unit buffers as
+  // ONE batched submission — every unit keeps its own File and one
+  // positional read covering exactly its coalesced blocks, so the
+  // modelled backend (whose read_batch is an in-order read_at loop over
+  // fresh file ids) charges exactly what the old per-unit readers did,
+  // while a real backend pushes the whole group down one ring
+  // submission.
+  const auto read_unit_group =
+      [&](std::size_t first_unit, std::size_t n,
+          std::vector<std::vector<graph::Edge>>& buffers) {
+        buffers.assign(n, {});
+        std::vector<std::unique_ptr<io::File>> files;
+        std::vector<io::ReadRequest> requests;
+        files.reserve(n);
+        requests.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+          const ReadUnit& unit = units[first_unit + k];
+          std::uint64_t unit_records = 0;
+          for (std::uint64_t b = 0; b < unit.num_blocks; ++b) {
+            unit_records += block_count(unit.first_block + b);
+          }
+          buffers[k].resize(static_cast<std::size_t>(unit_records));
+          files.push_back(input_dev.open(input_name));
+          requests.push_back(
+              {files.back().get(),
+               unit.first_block * kBlock * sizeof(graph::Edge),
+               buffers[k].data(),
+               static_cast<std::size_t>(unit_records * sizeof(graph::Edge)),
+               0});
         }
-      }
-      remaining -= take;
+        input_dev.read_batch(requests);
+        for (std::size_t k = 0; k < n; ++k) {
+          FB_CHECK_MSG(requests[k].got == requests[k].bytes,
+                       input_name << " ends inside its block index ("
+                                  << (requests[k].bytes - requests[k].got)
+                                  << " bytes short)");
+        }
+      };
+
+  // Pulls one delivered unit, re-windowing on the block boundaries the
+  // view fixed at build time.
+  const auto process_unit = [&](const ReadUnit& unit,
+                                std::span<const graph::Edge> records,
+                                ScatterStage<P>& stage, std::uint64_t& scanned,
+                                std::uint64_t& probed) {
+    std::size_t off = 0;
+    for (std::uint64_t b = 0; b < unit.num_blocks; ++b) {
+      const std::size_t n =
+          static_cast<std::size_t>(block_count(unit.first_block + b));
+      process_block(records.subspan(off, n), stage, probed);
+      off += n;
     }
-    // A delivered batch smaller than a block never splits one: the one
-    // positional read returns the whole unit in a single batch today,
-    // and the inner loop re-syncs on block boundaries regardless.
-    scanned += unit_records;
+    scanned += records.size();
   };
+
+  // Group size: a real device keeps queue_depth unit reads in flight
+  // per submission; the modelled timeline is serial, so groups stay
+  // size 1 and the historical read/flush interleaving (and with it the
+  // charge sequence on a shared update device) is untouched.
+  const std::size_t group_units =
+      input_dev.backend_kind() == io::BackendKind::kReal
+          ? std::max<std::size_t>(1, input_dev.backend_options().queue_depth)
+          : 1;
 
   if (!exec.parallel()) {
     ScatterStage<P> stage(program, layout, /*sieve=*/false);
     std::uint64_t scanned = 0;
     std::uint64_t probed = 0;
-    for (const ReadUnit& unit : units) {
-      process_unit(unit, stage, scanned, probed);
-      {
-        metrics::ScopedPhase flush_timer(collector,
-                                         metrics::Phase::kShuffleFlush);
-        stage.flush_serial(fanout);
+    std::vector<std::vector<graph::Edge>> buffers;
+    for (std::size_t g = 0; g < units.size(); g += group_units) {
+      const std::size_t n = std::min(group_units, units.size() - g);
+      read_unit_group(g, n, buffers);
+      for (std::size_t k = 0; k < n; ++k) {
+        process_unit(units[g + k], buffers[k], stage, scanned, probed);
+        {
+          metrics::ScopedPhase flush_timer(collector,
+                                           metrics::Phase::kShuffleFlush);
+          stage.flush_serial(fanout);
+        }
       }
     }
     if (collector != nullptr) {
@@ -831,44 +894,64 @@ ScatterResult pull_partition(
     return {scanned, stage.emitted, 0, probed, skipped};
   }
 
-  // Parallel: one task per read unit, retiring through the ordered
-  // hand-off in file order — same records, same per-block windows, so
-  // the update files match the serial bytes.
+  // Parallel: one task per unit group, retiring unit-by-unit through
+  // the ordered hand-off in file order — same records, same per-block
+  // windows, so the update files match the serial bytes.
+  const std::size_t num_groups =
+      units.empty() ? 0 : (units.size() + group_units - 1) / group_units;
   OrderedGate gate;
   std::atomic<std::uint64_t> scanned_total{0};
   std::atomic<std::uint64_t> emitted{0};
   std::atomic<std::uint64_t> probed_total{0};
   std::vector<std::future<void>> tasks;
-  tasks.reserve(units.size());
-  for (std::uint64_t c = 0; c < units.size(); ++c) {
-    tasks.push_back(exec.pool->submit([&, c] {
-      ScatterStage<P> stage(program, layout, /*sieve=*/false);
-      std::uint64_t scanned = 0;
-      std::uint64_t probed = 0;
+  tasks.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    tasks.push_back(exec.pool->submit([&, g] {
+      const std::size_t first_unit = g * group_units;
+      const std::size_t n = std::min(group_units, units.size() - first_unit);
+      const auto abandon_from = [&](std::size_t from) {
+        for (std::size_t c = from; c < first_unit + n; ++c) {
+          gate.wait_turn(c);
+          gate.complete(c);
+        }
+      };
+      std::vector<std::vector<graph::Edge>> buffers;
       try {
-        process_unit(units[c], stage, scanned, probed);
+        read_unit_group(first_unit, n, buffers);
       } catch (...) {
+        abandon_from(first_unit);
+        throw;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t c = first_unit + k;
+        ScatterStage<P> stage(program, layout, /*sieve=*/false);
+        std::uint64_t scanned = 0;
+        std::uint64_t probed = 0;
+        try {
+          process_unit(units[c], buffers[k], stage, scanned, probed);
+        } catch (...) {
+          abandon_from(c);
+          throw;
+        }
         gate.wait_turn(c);
+        try {
+          metrics::ScopedPhase flush_timer(collector,
+                                           metrics::Phase::kShuffleFlush);
+          stage.flush_locked(fanout);
+        } catch (...) {
+          gate.complete(c);
+          abandon_from(c + 1);
+          throw;
+        }
         gate.complete(c);
-        throw;
-      }
-      gate.wait_turn(c);
-      try {
-        metrics::ScopedPhase flush_timer(collector,
-                                         metrics::Phase::kShuffleFlush);
-        stage.flush_locked(fanout);
-      } catch (...) {
-        gate.complete(c);
-        throw;
-      }
-      gate.complete(c);
-      scanned_total.fetch_add(scanned, std::memory_order_relaxed);
-      emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
-      probed_total.fetch_add(probed, std::memory_order_relaxed);
-      if (collector != nullptr) {
-        collector->live().add_edges_scanned(scanned);
-        collector->live().add_edges_probed(probed);
-        collector->live().add_updates(stage.emitted, 0);
+        scanned_total.fetch_add(scanned, std::memory_order_relaxed);
+        emitted.fetch_add(stage.emitted, std::memory_order_relaxed);
+        probed_total.fetch_add(probed, std::memory_order_relaxed);
+        if (collector != nullptr) {
+          collector->live().add_edges_scanned(scanned);
+          collector->live().add_edges_probed(probed);
+          collector->live().add_updates(stage.emitted, 0);
+        }
       }
     }));
   }

@@ -1,0 +1,84 @@
+// AlignedBuffer / AlignedBufferPool contracts the real backend's
+// O_DIRECT bounce path leans on: alignment of the returned address,
+// size round-up, and the pool's tightest-fit reuse with a bounded
+// cache.
+#include "common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace fbfs {
+namespace {
+
+TEST(AlignedBuffer, AllocatesAlignedAndRoundsSizeUp) {
+  for (const std::size_t alignment : {std::size_t{512}, std::size_t{4096}}) {
+    const AlignedBuffer buf = AlignedBuffer::allocate(1000, alignment);
+    ASSERT_FALSE(buf.empty());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % alignment, 0u);
+    EXPECT_EQ(buf.size() % alignment, 0u);
+    EXPECT_GE(buf.size(), 1000u);
+    EXPECT_EQ(buf.alignment(), alignment);
+  }
+  // Zero bytes still yields one aligned block (O_DIRECT probes use it).
+  const AlignedBuffer zero = AlignedBuffer::allocate(0, 4096);
+  EXPECT_EQ(zero.size(), 4096u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a = AlignedBuffer::allocate(4096, 4096);
+  std::memset(a.data(), 0x5a, a.size());
+  AlignedBuffer b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(static_cast<unsigned char>(b.data()[0]), 0x5au);
+  a = std::move(b);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(AlignedBufferPool, ReusesTightestFitAndCapsTheCache) {
+  AlignedBufferPool pool(4096, /*max_cached=*/2);
+  AlignedBuffer small = pool.acquire(4096);
+  AlignedBuffer large = pool.acquire(1 << 20);
+  const std::byte* large_ptr = large.data();
+  pool.release(std::move(large));
+  pool.release(std::move(small));
+  EXPECT_EQ(pool.cached(), 2u);
+
+  // A mid-size request skips the too-small buffer and reuses the large
+  // one (tightest fit that still fits).
+  AlignedBuffer again = pool.acquire(64 << 10);
+  EXPECT_EQ(again.data(), large_ptr);
+  EXPECT_EQ(pool.cached(), 1u);
+  pool.release(std::move(again));
+
+  // Over the cap the smallest cached buffer is evicted, keeping the
+  // buffers the peak workload actually needs.
+  pool.release(AlignedBuffer::allocate(8192, 4096));
+  EXPECT_EQ(pool.cached(), 2u);
+  const AlignedBuffer kept = pool.acquire(1 << 20);
+  EXPECT_EQ(kept.data(), large_ptr);
+}
+
+TEST(AlignedBufferPool, ConcurrentAcquireReleaseIsSafe) {
+  AlignedBufferPool pool(4096);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&pool] {
+      for (int i = 0; i < 200; ++i) {
+        AlignedBuffer buf = pool.acquire(4096 * (1 + i % 4));
+        buf.data()[0] = std::byte{0xff};
+        pool.release(std::move(buf));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_LE(pool.cached(), 16u);
+}
+
+}  // namespace
+}  // namespace fbfs
